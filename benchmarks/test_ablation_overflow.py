@@ -1,0 +1,69 @@
+"""Ablation — overflow fall-back threshold (§4.1).
+
+The fall-back to hardware copy-on-write triggers when the TC is
+"almost filled (e.g., 90% full)".  This bench runs transactions bigger
+than the TC and sweeps the trigger threshold: a lower threshold falls
+back earlier (shadow writes start sooner, fewer stall cycles waiting
+for a hopeless FIFO), a threshold of 1.0 falls back only when already
+full.  All settings must stay crash-consistent.
+"""
+
+from dataclasses import replace
+
+from repro.common.config import small_machine_config
+from repro.common.types import SchemeName
+from repro.sim.runner import run_experiment
+from repro.sim.crash import crash_sweep
+
+THRESHOLDS = (0.5, 0.75, 0.9)
+
+
+def run_with_threshold(threshold):
+    config = small_machine_config(num_cores=1)
+    config = replace(config, txcache=replace(
+        config.txcache, overflow_threshold=threshold))
+    # 100-store transactions >> the 64-entry TC: every tx overflows
+    return run_experiment("synthetic", "txcache", config=config,
+                          operations=30, stores_per_tx=100,
+                          loads_per_tx=0, compute_per_tx=50,
+                          footprint_lines=4096)
+
+
+def test_overflow_threshold_sweep(benchmark, save_output):
+    def sweep():
+        return {t: run_with_threshold(t) for t in THRESHOLDS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: overflow fall-back threshold "
+             "(synthetic 100-store tx, 64-entry TC):"]
+    for threshold, result in results.items():
+        fallbacks = result.raw_stats.get(
+            "tc.overflow.fallback.transactions", 0)
+        shadows = result.raw_stats.get(
+            "tc.overflow.fallback.shadow_writes", 0)
+        lines.append(
+            f"  threshold={threshold:.2f}: cycles={result.cycles:>8d} "
+            f"fallback_tx={fallbacks:>3.0f} shadow_writes={shadows:>6.0f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_output("ablation_overflow.txt", text)
+
+    # every oversized transaction must fall back at every threshold
+    for threshold, result in results.items():
+        assert result.raw_stats.get(
+            "tc.overflow.fallback.transactions", 0) >= 30, threshold
+        # and still commit everything
+        assert result.transactions == 30 + 512  # ops + setup batches
+
+
+def test_overflowing_transactions_stay_crash_consistent(benchmark):
+    def sweep():
+        return crash_sweep("synthetic", "txcache",
+                           fractions=(0.3, 0.6, 0.9),
+                           operations=15, stores_per_tx=100,
+                           loads_per_tx=0, compute_per_tx=50,
+                           footprint_lines=2048)
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for report in reports:
+        assert report.consistent, report.violations[:3]

@@ -1,0 +1,52 @@
+"""Ablation — transaction cache capacity sweep.
+
+The paper: "the capacity of the transaction cache can be flexibly
+configured based on the transaction sizes of the processor's target
+applications" (§3) and reports that 4 KB/core suffices.  This bench
+sweeps the TC size on the write-intense sps workload and checks that
+full-TC back-pressure (stall events + issue-stall cycles) shrinks
+monotonically-in-spirit as the TC grows, vanishing by 4 KB.
+"""
+
+from dataclasses import replace
+
+from repro.common.config import small_machine_config
+from repro.sim.runner import run_experiment
+
+SIZES = (512, 1024, 2048, 4096, 8192)
+
+
+def run_with_tc_size(size_bytes):
+    config = small_machine_config(num_cores=2)
+    config = replace(config, txcache=replace(config.txcache,
+                                             size_bytes=size_bytes))
+    return run_experiment("sps", "txcache", config=config,
+                          operations=200, array_elements=1024)
+
+
+def test_tc_size_sweep(benchmark, save_output):
+    def sweep():
+        return {size: run_with_tc_size(size) for size in SIZES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: transaction cache size (sps, 2 cores):"]
+    for size, result in results.items():
+        stall = result.stall_cycles.get("store_issue", 0.0)
+        lines.append(
+            f"  {size // 1024}KB/core: cycles={result.cycles:>8d} "
+            f"tc_full_events={result.tc_full_stall_events:>5.0f} "
+            f"issue_stall_cycles={stall:>8.0f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_output("ablation_tc_size.txt", text)
+
+    # back-pressure must not grow with capacity, and a 4 KB TC (the
+    # paper's choice) must make it negligible
+    events = [results[size].tc_full_stall_events for size in SIZES]
+    assert events[0] >= events[-1]
+    assert results[4096].tc_full_stall_events <= events[0]
+    stall_4k = results[4096].stall_cycles.get("store_issue", 0.0)
+    assert stall_4k / results[4096].cycles < 0.02
+    # performance is monotone-ish: the largest TC is at least as fast
+    # as the smallest
+    assert results[8192].cycles <= results[512].cycles * 1.02

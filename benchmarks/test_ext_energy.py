@@ -1,0 +1,50 @@
+"""Extension — energy comparison of the four mechanisms.
+
+Not a paper figure: the paper argues write traffic (Fig. 9) as a cost;
+STT-RAM writes are also the dominant energy cost, so the Fig. 9
+ordering should hold (amplified) in memory energy.  This bench folds
+the simulator's event counters into the energy model and checks that
+SP's logging burns the most NVM-write energy, the TC sits between, and
+Kiln/Optimal are lowest — i.e. the paper's traffic argument carries
+over to energy.
+"""
+
+from repro.common.types import SchemeName
+from repro.sim.energy import EnergyModel, estimate_energy
+from repro.sim.runner import make_traces
+from repro.sim.system import System
+
+
+def run_all_schemes(workload="rbtree", operations=150, num_cores=2):
+    traces = make_traces(workload, num_cores, operations, seed=17)
+    systems = {}
+    for scheme in ("sp", "txcache", "kiln", "optimal"):
+        system = System.build(scheme, num_cores=num_cores)
+        system.load_traces(traces)
+        system.run()
+        systems[scheme] = system
+    return systems
+
+
+def test_energy_comparison(benchmark, save_output):
+    systems = benchmark.pedantic(run_all_schemes, rounds=1, iterations=1)
+    model = EnergyModel()
+    breakdowns = {name: estimate_energy(system, model)
+                  for name, system in systems.items()}
+
+    lines = ["Extension: estimated energy (rbtree, 2 cores):"]
+    for name, breakdown in breakdowns.items():
+        lines.append(f"  {name:<8} total={breakdown.total_pj / 1e6:8.2f} uJ  "
+                     f"nvm_write={breakdown.nvm_write_pj / 1e6:8.2f} uJ  "
+                     f"memory={breakdown.memory_pj / 1e6:8.2f} uJ")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_output("ext_energy.txt", text)
+
+    # the Fig. 9 ordering carries over to NVM write energy
+    assert breakdowns["sp"].nvm_write_pj > breakdowns["txcache"].nvm_write_pj
+    assert breakdowns["txcache"].nvm_write_pj > \
+        breakdowns["kiln"].nvm_write_pj * 0.99
+    # and SP's total energy is the worst overall
+    assert breakdowns["sp"].total_pj == max(
+        b.total_pj for b in breakdowns.values())

@@ -1,0 +1,52 @@
+"""Extension — robustness of the headline result to random seeds.
+
+A reproduction whose conclusions flip with the RNG seed reproduces
+nothing.  This bench reruns the Figure 6 comparison on one workload
+with three seeds and checks the scheme ordering (SP ≪ Kiln < TC) and
+the TC's near-native performance hold for every seed.
+"""
+
+from repro.common.types import SchemeName
+from repro.sim.runner import run_comparison
+
+SEEDS = (42, 1337, 90210)
+
+
+def test_scheme_ordering_stable_across_seeds(benchmark, save_output):
+    def sweep():
+        out = {}
+        for seed in SEEDS:
+            out[seed] = run_comparison("rbtree", operations=200,
+                                       num_cores=2, seed=seed)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Extension: seed robustness (rbtree, 2 cores):"]
+    for seed, by_scheme in results.items():
+        optimal = by_scheme[SchemeName.OPTIMAL]
+        row = {scheme: result.ipc / optimal.ipc
+               for scheme, result in by_scheme.items()}
+        lines.append(
+            f"  seed={seed:>6}: sp={row[SchemeName.SP]:.3f} "
+            f"kiln={row[SchemeName.KILN]:.3f} "
+            f"txcache={row[SchemeName.TXCACHE]:.3f}")
+        assert row[SchemeName.SP] < row[SchemeName.KILN]
+        assert row[SchemeName.KILN] < row[SchemeName.TXCACHE]
+        assert row[SchemeName.TXCACHE] > 0.9
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_output("ext_seed_robustness.txt", text)
+
+
+def test_identical_seed_is_bit_reproducible(benchmark):
+    def run_twice():
+        first = run_comparison("sps", operations=100, num_cores=2, seed=7,
+                               schemes=(SchemeName.TXCACHE,))
+        second = run_comparison("sps", operations=100, num_cores=2, seed=7,
+                                schemes=(SchemeName.TXCACHE,))
+        return first[SchemeName.TXCACHE], second[SchemeName.TXCACHE]
+
+    first, second = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    assert first.cycles == second.cycles
+    assert first.nvm_write_lines == second.nvm_write_lines
+    assert first.raw_stats == second.raw_stats

@@ -1,0 +1,114 @@
+"""Extensions — sensitivity of the headline result to technology and scale.
+
+Three sweeps the paper's conclusions should (and do) survive:
+
+* **TC latency** (1.5-12 ns): the TC is off the execution path, so even
+  a much slower CAM barely moves performance — this is what lets the
+  multi-retention STT-RAM designs the paper cites ([17]) trade
+  retention for density.
+* **NVM technology** (STT-RAM vs PCM-like timing): slower NVM makes SP
+  *worse* (its fences serialize on NVM writes) while the TC stays close
+  to Optimal — the accelerator's advantage grows with slower memory.
+* **Core count** (1-8): the shared LLC and NVM channel scale; the TC's
+  normalized performance holds.
+"""
+
+from dataclasses import replace
+
+from repro.common.config import MemTimingConfig, small_machine_config
+from repro.common.types import SchemeName
+from repro.sim.runner import run_comparison, run_experiment
+
+
+def test_tc_latency_sweep(benchmark, save_output):
+    latencies = (1.5, 3.0, 6.0, 12.0)
+
+    def sweep():
+        out = {}
+        for latency_ns in latencies:
+            config = small_machine_config(num_cores=2)
+            config = replace(config, txcache=replace(
+                config.txcache, latency_ns=latency_ns))
+            out[latency_ns] = run_experiment("hashtable", "txcache",
+                                             config=config, operations=200)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Extension: TC latency sensitivity (hashtable/txcache):"]
+    for latency_ns, result in results.items():
+        lines.append(f"  tc={latency_ns:4.1f}ns: cycles={result.cycles:>8d} "
+                     f"ipc={result.ipc:.3f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_output("ext_tc_latency.txt", text)
+
+    # the TC sits on a side path: an 8x slower CAM costs < 2%
+    fastest = results[1.5].cycles
+    slowest = results[12.0].cycles
+    assert slowest <= fastest * 1.02
+
+
+def test_nvm_technology_sweep(benchmark, save_output):
+    technologies = {
+        "sttram": MemTimingConfig(read_ns=65.0, write_ns=76.0,
+                                  row_hit_ns=0.0, row_miss_ns=12.0),
+        "pcm": MemTimingConfig(read_ns=120.0, write_ns=350.0,
+                               row_hit_ns=0.0, row_miss_ns=25.0),
+    }
+
+    def sweep():
+        out = {}
+        for name, timing in technologies.items():
+            config = small_machine_config(num_cores=2)
+            config = replace(config, nvm=replace(config.nvm, timing=timing))
+            out[name] = run_comparison(
+                "hashtable", schemes=("sp", "txcache", "optimal"),
+                config=config, operations=200)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Extension: NVM technology sensitivity (hashtable):"]
+    normalized = {}
+    for name, by_scheme in results.items():
+        optimal = by_scheme[SchemeName.OPTIMAL]
+        sp = by_scheme[SchemeName.SP].ipc / optimal.ipc
+        txc = by_scheme[SchemeName.TXCACHE].ipc / optimal.ipc
+        normalized[name] = (sp, txc)
+        lines.append(f"  {name:<7}: sp/optimal={sp:.3f} "
+                     f"txcache/optimal={txc:.3f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_output("ext_nvm_technology.txt", text)
+
+    # slower NVM hurts the software scheme far more than the accelerator
+    assert normalized["pcm"][0] < normalized["sttram"][0]
+    assert normalized["pcm"][1] > 0.85
+    assert normalized["pcm"][1] > normalized["pcm"][0] * 2
+
+
+def test_core_count_scaling(benchmark, save_output):
+    counts = (1, 2, 4, 8)
+
+    def sweep():
+        out = {}
+        for cores in counts:
+            config = small_machine_config(num_cores=cores)
+            out[cores] = run_comparison(
+                "graph", schemes=("txcache", "optimal"),
+                config=config, operations=150)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Extension: core-count scaling (graph):"]
+    ratios = {}
+    for cores, by_scheme in results.items():
+        optimal = by_scheme[SchemeName.OPTIMAL]
+        txc = by_scheme[SchemeName.TXCACHE]
+        ratios[cores] = txc.ipc / optimal.ipc
+        lines.append(f"  {cores} cores: optimal_ipc={optimal.ipc:.3f} "
+                     f"tc/optimal={ratios[cores]:.3f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_output("ext_core_scaling.txt", text)
+
+    assert all(ratio > 0.9 for ratio in ratios.values())

@@ -1,0 +1,59 @@
+"""Figure 10 — CPU persistent load latency, normalized to Optimal.
+
+Paper: Kiln's load latency is ≈2.4x Optimal's (commit flushes block the
+hierarchy; NV-LLC replacement changes), while the TC stays at ≈1x.
+
+The paper-workload grid shows the direction (Kiln elevated, TC ≈ 1);
+the stress variant — large transactions on an at-capacity LLC, where
+commits block a hierarchy that is actually being reused — reproduces
+the paper's >2x magnitude.
+"""
+
+from dataclasses import replace
+
+from repro.common.config import small_machine_config
+from repro.common.types import SchemeName
+from repro.sim.report import figure10_load_latency, format_figure
+from repro.sim.runner import run_comparison
+
+
+def test_fig10_normalized_load_latency(paper_grid, benchmark, save_output):
+    rows = figure10_load_latency(paper_grid)
+    text = format_figure("Figure 10: Persistent load latency, "
+                         "normalized to Optimal", rows)
+    print("\n" + text)
+    save_output("fig10_load_latency.txt", text)
+
+    gmean = rows["gmean"]
+    # Kiln pays for commit blocking + the slower NV-LLC on every
+    # workload; the TC tracks Optimal
+    assert gmean[SchemeName.KILN] > 1.05
+    assert gmean[SchemeName.KILN] > gmean[SchemeName.SP]
+    assert gmean[SchemeName.SP] > gmean[SchemeName.TXCACHE]
+    assert gmean[SchemeName.TXCACHE] < 1.03
+    for workload, row in rows.items():
+        assert row[SchemeName.KILN] > row[SchemeName.TXCACHE], workload
+
+    def kiln_latency_stress():
+        config = small_machine_config(num_cores=4)
+        config = replace(config,
+                         llc=replace(config.llc, size_bytes=128 * 1024))
+        return run_comparison(
+            "synthetic", schemes=("kiln", "txcache", "optimal"),
+            config=config, operations=250, stores_per_tx=20,
+            loads_per_tx=8, compute_per_tx=200, footprint_lines=480)
+
+    stress = benchmark.pedantic(kiln_latency_stress, rounds=1, iterations=1)
+    optimal = stress[SchemeName.OPTIMAL].persist_llc_load_latency
+    ratio_kiln = stress[SchemeName.KILN].persist_llc_load_latency / optimal
+    ratio_txc = stress[SchemeName.TXCACHE].persist_llc_load_latency / optimal
+    stress_text = (
+        "Figure 10 (commit-blocking stress variant, synthetic 20-store tx):\n"
+        f"  kiln/optimal persistent load latency: {ratio_kiln:.2f}x "
+        "(paper: 2.4x)\n"
+        f"  tc/optimal   persistent load latency: {ratio_txc:.2f}x "
+        "(paper: ~1x)")
+    print("\n" + stress_text)
+    save_output("fig10_stress.txt", stress_text)
+    assert ratio_kiln > 1.8
+    assert ratio_txc < ratio_kiln / 1.5

@@ -1,0 +1,36 @@
+"""Figure 6 — IPC of the four mechanisms, normalized to Optimal.
+
+Paper numbers: SP ≈ 0.477, Kiln ≈ 0.878, TC ≈ 0.985.  The assertions
+check the *shape*: SP is far below everyone, the transaction cache is
+within a few percent of native execution, and Kiln sits in between.
+"""
+
+from repro.common.types import SchemeName
+from repro.sim.report import figure6_ipc, format_figure
+from repro.sim.runner import run_experiment
+
+
+def test_fig6_normalized_ipc(paper_grid, benchmark, save_output):
+    rows = figure6_ipc(paper_grid)
+    text = format_figure("Figure 6: Performance improvements (IPC), "
+                         "normalized to Optimal", rows)
+    print("\n" + text)
+    save_output("fig6_ipc.txt", text)
+
+    gmean = rows["gmean"]
+    # ordering: SP << Kiln < TC <= ~Optimal
+    assert gmean[SchemeName.SP] < gmean[SchemeName.KILN]
+    assert gmean[SchemeName.KILN] < gmean[SchemeName.TXCACHE]
+    # magnitudes (paper: 0.477 / 0.878 / 0.985)
+    assert 0.25 < gmean[SchemeName.SP] < 0.70
+    assert 0.75 < gmean[SchemeName.KILN] < 0.97
+    assert gmean[SchemeName.TXCACHE] > 0.90
+    assert gmean[SchemeName.TXCACHE] < 1.05
+    # per-workload: the TC never loses to Kiln
+    for workload, row in rows.items():
+        assert row[SchemeName.TXCACHE] >= row[SchemeName.KILN] - 0.02, workload
+
+    # measured cost: one representative experiment
+    benchmark.pedantic(
+        lambda: run_experiment("sps", "txcache", operations=50, num_cores=1),
+        rounds=1, iterations=1)

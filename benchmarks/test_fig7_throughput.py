@@ -1,0 +1,34 @@
+"""Figure 7 — transaction throughput (tx/cycle), normalized to Optimal.
+
+Paper numbers: SP ≈ 0.32, Kiln ≈ 0.878, TC ≈ 0.985.  Throughput is the
+end-to-end transaction rate, so SP's per-transaction flush/fence tax
+hits it even harder than IPC does.
+"""
+
+from repro.common.types import SchemeName
+from repro.sim.report import figure7_throughput, format_figure
+from repro.sim.runner import run_experiment
+
+
+def test_fig7_normalized_throughput(paper_grid, benchmark, save_output):
+    rows = figure7_throughput(paper_grid)
+    text = format_figure("Figure 7: Performance improvements (Throughput), "
+                         "normalized to Optimal", rows)
+    print("\n" + text)
+    save_output("fig7_throughput.txt", text)
+
+    gmean = rows["gmean"]
+    assert gmean[SchemeName.SP] < gmean[SchemeName.KILN]
+    assert gmean[SchemeName.KILN] < gmean[SchemeName.TXCACHE]
+    assert gmean[SchemeName.SP] < 0.70
+    assert gmean[SchemeName.TXCACHE] > 0.90
+
+    # throughput and IPC must largely agree (same denominator)
+    from repro.sim.report import figure6_ipc
+    ipc_gmean = figure6_ipc(paper_grid)["gmean"]
+    for scheme in (SchemeName.SP, SchemeName.KILN, SchemeName.TXCACHE):
+        assert abs(gmean[scheme] - ipc_gmean[scheme]) < 0.15
+
+    benchmark.pedantic(
+        lambda: run_experiment("hashtable", "sp", operations=50, num_cores=1),
+        rounds=1, iterations=1)

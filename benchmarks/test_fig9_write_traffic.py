@@ -1,0 +1,44 @@
+"""Figure 9 — NVM write traffic, normalized to Optimal.
+
+Paper shape: SP has ~2x (logging + flushes); both hardware schemes cut
+that significantly but still write more than Optimal; the TC writes
+more than Kiln (the TC persists every committed transaction's lines,
+while Kiln coalesces commits inside the NV-LLC and only writes NVM on
+LLC evictions).
+
+At our scale SP's multiple is larger than the paper's 2x: short traces
+give the Optimal baseline less cross-transaction coalescing than a
+0.7-billion-instruction run, shrinking the denominator.  The ordering
+and the SP >> TC > Kiln ≈ 1 structure are the reproduced shape.
+"""
+
+from repro.common.types import SchemeName
+from repro.sim.report import figure9_write_traffic, format_figure
+from repro.sim.runner import run_experiment
+
+
+def test_fig9_normalized_write_traffic(paper_grid, benchmark, save_output):
+    rows = figure9_write_traffic(paper_grid)
+    text = format_figure("Figure 9: NVM write traffic, normalized to Optimal",
+                         rows)
+    print("\n" + text)
+    save_output("fig9_write_traffic.txt", text)
+
+    gmean = rows["gmean"]
+    # SP writes the most (logging + forced flushes), by a wide margin
+    assert gmean[SchemeName.SP] >= 2.0
+    assert gmean[SchemeName.SP] > gmean[SchemeName.TXCACHE]
+    # TC > Kiln > ~Optimal (paper §5.2: 'TC has more write traffic than
+    # Kiln because TC directly updates the NVM on commit, Kiln only
+    # flushes into the nonvolatile LLC')
+    assert gmean[SchemeName.TXCACHE] > gmean[SchemeName.KILN]
+    assert gmean[SchemeName.TXCACHE] > 1.1
+    assert 0.9 < gmean[SchemeName.KILN] < 1.2
+    # holds per workload, not just on average
+    for workload, row in rows.items():
+        assert row[SchemeName.SP] > row[SchemeName.TXCACHE] > \
+            row[SchemeName.KILN] - 0.05, workload
+
+    benchmark.pedantic(
+        lambda: run_experiment("graph", "kiln", operations=50, num_cores=1),
+        rounds=1, iterations=1)

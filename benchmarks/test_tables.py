@@ -1,0 +1,58 @@
+"""Regenerate the paper's Tables 1-3.
+
+* Table 1 — hardware overhead summary (computed from the machine
+  configuration, §4.4).
+* Table 2 — machine configuration.
+* Table 3 — workload descriptions.
+
+The benchmark measurements time the underlying generators (config
+construction, overhead computation, trace generation) — the costs a
+user pays when scripting the library.
+"""
+
+from repro.common.config import paper_machine_config, table2_rows
+from repro.core.txcache import hardware_overhead, overhead_summary_bits
+from repro.sim.report import format_table1, format_table2, format_table3
+from repro.workloads import PAPER_WORKLOADS, create_workload, workload_table
+
+
+def test_table1_overhead(benchmark, save_output):
+    config = paper_machine_config()
+    rows = benchmark(hardware_overhead, config)
+    text = format_table1(config)
+    print("\n" + text)
+    save_output("table1.txt", text)
+    # paper §4.4: 6-bit TxIDs, 1-bit state/P-V flags, 7 extra bits per
+    # TC line, 16 KB of TC across the 4-core machine
+    assert rows["CPU TxID/Mode register"]["size"] == "6 bits"
+    bits = overhead_summary_bits(config)
+    assert bits["per_tc_line_extra_bits"] == 7
+    assert bits["per_cache_line_extra_bits"] == 1
+    assert bits["tc_total_bytes_machine"] == 16 * 1024
+
+
+def test_table2_machine_config(benchmark, save_output):
+    rows = benchmark(lambda: table2_rows(paper_machine_config()))
+    text = format_table2(paper_machine_config())
+    print("\n" + text)
+    save_output("table2.txt", text)
+    assert rows["CPU"] == "4 cores, 2GHz, 4 issue, out of order"
+    assert "64MB" in rows["L3 (LLC)"]
+    assert "65-ns read, 76-ns write" in rows["NVM Memory"]
+
+
+def test_table3_workloads(benchmark, save_output):
+    def generate_all():
+        return {
+            name: create_workload(name, seed=1).generate(20)
+            for name in PAPER_WORKLOADS
+        }
+
+    traces = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    text = format_table3()
+    print("\n" + text)
+    save_output("table3.txt", text)
+    table = workload_table()
+    for name in PAPER_WORKLOADS:
+        assert name in table
+        assert traces[name].transactions >= 20

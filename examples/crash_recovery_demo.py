@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Crash-recovery demo: the dangling-pointer scenario from the paper's
+introduction, made concrete.
+
+The paper motivates persistent memory support with a linked-structure
+insert: if reordered write-backs let the head pointer reach the NVM
+before the node it points to, a crash corrupts the list.  This demo
+runs the ``graph`` workload (adjacency-list edge inserts) under:
+
+* **Optimal** — no persistence support: crashes can tear transactions
+  (Fig. 2a), and
+* **TXCACHE** — the paper's accelerator: recovery replays the committed
+  entries buffered in the nonvolatile transaction cache; every crash
+  point yields an all-or-nothing image.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro.sim.crash import measure_run_length, run_with_crash
+
+FRACTIONS = (0.25, 0.5, 0.75)
+PARAMS = dict(operations=60, seed=11, num_cores=1, vertices=4096)
+
+
+def describe(report) -> str:
+    status = "CONSISTENT" if report.consistent else \
+        f"TORN ({len(report.violations)} violations)"
+    return (f"  crash @ cycle {report.crash_cycle:>7} "
+            f"({report.crash_cycle / report.total_cycles * 100:3.0f}% of run): "
+            f"{len(report.committed):>3} tx recoverable, "
+            f"{report.recovered_lines:>4} lines recovered -> {status}")
+
+
+def main() -> None:
+    for scheme in ("optimal", "txcache"):
+        print(f"\n=== scheme: {scheme} ===")
+        total = measure_run_length("graph", scheme, **PARAMS)
+        any_torn = False
+        for fraction in FRACTIONS:
+            report = run_with_crash("graph", scheme,
+                                    int(total * fraction),
+                                    total_cycles=total, **PARAMS)
+            print(describe(report))
+            if not report.consistent:
+                any_torn = True
+                example = report.violations[0]
+                print(f"      e.g. {example}")
+        if scheme == "optimal" and any_torn:
+            print("  -> without persistence support, reordered write-backs")
+            print("     leave partially-applied edge inserts in the NVM")
+        if scheme == "txcache" and not any_torn:
+            print("  -> the nonvolatile TC buffers every transaction until")
+            print("     its writes are acknowledged by the NVM: recovery is")
+            print("     all-or-nothing at every crash point")
+
+
+if __name__ == "__main__":
+    main()

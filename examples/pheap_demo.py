@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The paper's software interface in action: an NV-heaps-style app.
+
+Write ordinary Python against persistent collections; every persistent
+access is recorded with a realistic memory layout; then the *same
+program* is timed under all four persistence mechanisms and
+crash-tested for atomicity.
+
+The app: a small order-processing service — persistent inventory
+(dict), persistent order log (list), persistent revenue counter.
+Each order is one `Transaction { ... }` touching all three structures:
+the classic multi-structure atomicity problem.
+
+Run:  python examples/pheap_demo.py
+"""
+
+import random
+
+from repro.common.types import SchemeName
+from repro.pheap import (
+    PersistentArena,
+    PersistentCounter,
+    PersistentDict,
+    PersistentList,
+)
+
+
+def build_program(orders: int = 150, seed: int = 7) -> PersistentArena:
+    rng = random.Random(seed)
+    arena = PersistentArena("orders")
+    inventory = PersistentDict(arena, buckets=32)
+    order_log = PersistentList(arena, capacity=16)
+    revenue = PersistentCounter(arena)
+
+    items = [f"sku{i}" for i in range(24)]
+    with arena.transaction():
+        for item in items:
+            inventory[item] = 100
+
+    for order_id in range(orders):
+        item = rng.choice(items)
+        price = rng.randrange(5, 50)
+        # one atomic business transaction across three structures
+        with arena.transaction():
+            remaining = inventory[item]
+            if remaining > 0:
+                inventory[item] = remaining - 1
+                order_log.append((order_id, item, price))
+                revenue.increment(price)
+    return arena
+
+
+def main() -> None:
+    print("Recording the order-processing program...")
+    arena = build_program()
+    trace = arena.trace()
+    print(f"  {trace.transactions} transactions, "
+          f"{trace.persistent_stores} persistent stores, "
+          f"{trace.instructions} instructions\n")
+
+    print("Timing the same program under the four mechanisms:")
+    results = {}
+    for scheme in ("optimal", "txcache", "kiln", "sp"):
+        results[scheme] = build_program().run(scheme)
+    optimal = results["optimal"]
+    for scheme, result in results.items():
+        print(f"  {scheme:<8} {result.cycles:>9} cycles "
+              f"({result.cycles / optimal.cycles:5.2f}x optimal)")
+
+    print("\nCrash-testing atomicity under the transaction cache:")
+    for report in build_program().crash_test("txcache",
+                                             fractions=(0.3, 0.6, 0.9)):
+        status = "CONSISTENT" if report.consistent else "TORN"
+        print(f"  crash @ {report.crash_cycle:>7} "
+              f"({report.crash_cycle / report.total_cycles:4.0%}): "
+              f"{len(report.committed):>3} orders durable -> {status}")
+    print("\nNo order can ever half-happen: inventory, log and revenue")
+    print("move together or not at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""repro — reproduction of "Leave the Cache Hierarchy Operation as It
+Is: A New Persistent Memory Accelerating Approach" (DAC 2017).
+
+The package implements the paper's persistent memory accelerator — a
+nonvolatile CAM-FIFO transaction cache deployed beside an unmodified
+cache hierarchy — together with every substrate it is evaluated on:
+
+* a multicore cache-hierarchy simulator (:mod:`repro.cache`),
+* a hybrid DRAM/NVM memory system with DRAMSim2-style controllers
+  (:mod:`repro.memory`),
+* a trace-driven CPU timing model (:mod:`repro.cpu`),
+* the transaction cache, its accelerator logic and the copy-on-write
+  overflow fall-back (:mod:`repro.core`),
+* the four compared persistence mechanisms (:mod:`repro.persistence`),
+* the five Table 3 benchmarks as instrumented data structures
+  (:mod:`repro.workloads`), and
+* experiment runners, crash injection, and figure/table regeneration
+  (:mod:`repro.sim`).
+
+Quick start::
+
+    from repro import run_comparison, SchemeName
+    results = run_comparison("hashtable", operations=200)
+    print(results[SchemeName.TXCACHE].ipc /
+          results[SchemeName.OPTIMAL].ipc)   # ~0.99 (paper: 0.985)
+"""
+
+__version__ = "1.0.0"
+
+from .common import (
+    CACHE_LINE_SIZE,
+    NVM_BASE,
+    MachineConfig,
+    SchemeName,
+    Simulator,
+    Stats,
+    TxCacheConfig,
+    Version,
+    paper_machine_config,
+    small_machine_config,
+)
+from .core import (
+    PersistentMemoryAccelerator,
+    TransactionCache,
+    TxState,
+    hardware_overhead,
+)
+from .cpu import Trace, TraceBuilder
+from .pheap import (
+    PersistentArena,
+    PersistentCounter,
+    PersistentDict,
+    PersistentList,
+)
+from .persistence import (
+    KilnScheme,
+    OptimalScheme,
+    PersistenceScheme,
+    SoftwareScheme,
+    TxCacheScheme,
+    create_scheme,
+)
+from .sim import (
+    CrashReport,
+    SimulationResult,
+    System,
+    crash_sweep,
+    run_comparison,
+    run_experiment,
+    run_with_crash,
+)
+from .workloads import (
+    PAPER_WORKLOADS,
+    WORKLOADS,
+    Workload,
+    create_workload,
+    register,
+)
+
+__all__ = [
+    "CACHE_LINE_SIZE",
+    "NVM_BASE",
+    "PAPER_WORKLOADS",
+    "WORKLOADS",
+    "CrashReport",
+    "KilnScheme",
+    "MachineConfig",
+    "OptimalScheme",
+    "PersistenceScheme",
+    "PersistentArena",
+    "PersistentCounter",
+    "PersistentDict",
+    "PersistentList",
+    "PersistentMemoryAccelerator",
+    "SchemeName",
+    "SimulationResult",
+    "Simulator",
+    "SoftwareScheme",
+    "Stats",
+    "System",
+    "Trace",
+    "TraceBuilder",
+    "TransactionCache",
+    "TxCacheConfig",
+    "TxCacheScheme",
+    "TxState",
+    "Version",
+    "Workload",
+    "crash_sweep",
+    "create_scheme",
+    "create_workload",
+    "hardware_overhead",
+    "paper_machine_config",
+    "register",
+    "run_comparison",
+    "run_experiment",
+    "run_with_crash",
+    "small_machine_config",
+]

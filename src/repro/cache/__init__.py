@@ -1,0 +1,13 @@
+"""Cache hierarchy: set-associative arrays, levels, and the L1/L2/LLC stack."""
+
+from .hierarchy import CacheHierarchy
+from .level import CacheLevel
+from .line import CacheArray, CacheLine, EvictionImpossible
+
+__all__ = [
+    "CacheArray",
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheLine",
+    "EvictionImpossible",
+]

@@ -1,0 +1,525 @@
+"""The three-level cache hierarchy with the paper's scheme hooks.
+
+Private L1 and L2 per core, shared inclusive LLC, write-back +
+write-allocate everywhere, true LRU.  A lightweight directory at the
+LLC keeps multicore sharing coherent (invalidate-on-write).
+
+The point of the paper is that persistence schemes attach to this
+hierarchy *differently*:
+
+* **TXCACHE** sets :attr:`drop_persistent_evictions` (persistent dirty
+  LLC victims are discarded, the NVM only ever receives TC-ordered
+  data) and installs :attr:`llc_probe` so LLC misses on persistent
+  lines consult the transaction cache for the newest version
+  (paper §3, "Persistent Memory Accelerator Working Flow").
+* **Kiln** pins uncommitted lines in the (nonvolatile) LLC via
+  :meth:`pin_llc_line` / :meth:`unpin_llc_line`, flushes on commit with
+  :meth:`flush_to_llc`, and blocks the hierarchy during commit with
+  :meth:`block_until`.
+* **SP** uses :meth:`writeback_line` for ``clwb`` semantics.
+* **Optimal** uses none of the hooks.
+
+All lookups are synchronous latency arithmetic; only accesses that
+reach a memory controller become events.  Callbacks may therefore fire
+synchronously (cache hit) or later (memory fill) — callers must accept
+both.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..common.config import MachineConfig
+from ..common.event import Simulator
+from ..common.stats import Stats
+from ..common.types import Version, is_persistent_addr, line_addr
+from ..memory.system import MemorySystem
+from .level import CacheLevel
+from .line import CacheLine, EvictionImpossible
+
+#: ``llc_probe(line) -> (extra_latency, version)`` or None on probe miss.
+LlcProbe = Callable[[int], Optional[Tuple[int, Optional[Version]]]]
+
+LoadCallback = Callable[[int, Optional[Version]], None]
+StoreCallback = Callable[[int], None]
+
+
+class _MissWaiter:
+    """Bookkeeping for one access waiting on a memory fill."""
+
+    __slots__ = ("core_id", "start_cycle", "is_store", "persistent",
+                 "tx_id", "store_version", "on_load", "on_store")
+
+    def __init__(self, core_id, start_cycle, is_store, persistent,
+                 tx_id, store_version, on_load, on_store):
+        self.core_id = core_id
+        self.start_cycle = start_cycle
+        self.is_store = is_store
+        self.persistent = persistent
+        self.tx_id = tx_id
+        self.store_version = store_version
+        self.on_load = on_load
+        self.on_store = on_store
+
+
+class CacheHierarchy:
+    """L1/L2 per core + shared LLC, with persistence-scheme hooks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        stats: Stats,
+        memory: MemorySystem,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.memory = memory
+        self.num_cores = config.num_cores
+        freq = config.freq_ghz
+        self.l1: List[CacheLevel] = [
+            CacheLevel(config.l1, stats.scoped(f"l1.{i}"), freq)
+            for i in range(self.num_cores)
+        ]
+        self.l2: List[CacheLevel] = [
+            CacheLevel(config.l2, stats.scoped(f"l2.{i}"), freq)
+            for i in range(self.num_cores)
+        ]
+        self.llc = CacheLevel(config.llc, stats.scoped("llc"), freq)
+        self.stats = stats.scoped("hierarchy")
+        # scheme hooks ---------------------------------------------------
+        self.drop_persistent_evictions = False
+        self.llc_probe: Optional[LlcProbe] = None
+        #: Kiln: called with a tx_id when a dirty persistent line lands in
+        #: the LLC; return True to pin it (uncommitted data must stay).
+        self.llc_pin_predicate: Optional[Callable[[Optional[int]], bool]] = None
+        self._blocked_until = 0
+        # MESI directory over the private cache stacks
+        from .coherence import MesiDirectory
+        self.coherence = MesiDirectory(self.num_cores,
+                                       stats.scoped("coherence"))
+        # MSHR-style coalescing of outstanding memory fills
+        self._pending: Dict[int, List[_MissWaiter]] = {}
+        # newer TC data to merge over in-flight fills (line → version)
+        self._probe_override: Dict[int, Optional[Version]] = {}
+        # program-order architectural version per stored line (updated
+        # synchronously at store issue; authoritative for clwb)
+        self._arch_version: Dict[int, Optional[Version]] = {}
+        # newest version already sent toward memory per line (clwb or
+        # write-back) — lets clwb skip lines that are already durable
+        self._sent_version: Dict[int, Optional[Version]] = {}
+
+    # ------------------------------------------------------------------
+    # public access path
+    # ------------------------------------------------------------------
+    def load(self, core_id: int, addr: int, on_complete: LoadCallback) -> None:
+        """Load one line for ``core_id``; ``on_complete(latency, version)``."""
+        line = line_addr(addr)
+        start = self.sim.now
+        latency = self.l1[core_id].latency
+        entry = self.l1[core_id].access(line)
+        if entry is not None:
+            on_complete(latency, entry.version)
+            return
+        outcome = self.coherence.on_read(core_id, line)
+        if outcome.supplier_was_dirty:
+            # another core owns the line MODIFIED: snoop its data into
+            # the shared level before this read proceeds
+            self._snoop_dirty(outcome.supplier, line)
+        latency += self.l2[core_id].latency
+        entry = self.l2[core_id].access(line)
+        if entry is not None:
+            self._fill_l1(core_id, line, entry.version,
+                          persistent=entry.persistent, tx_id=entry.tx_id)
+            on_complete(latency, entry.version)
+            return
+        # the shared LLC honours commit blocking (Kiln)
+        latency += self._block_wait() + self.llc.latency
+        entry = self.llc.access(line)
+        if entry is not None:
+            version = entry.version
+            self._fill_l2(core_id, line, version,
+                          persistent=entry.persistent, tx_id=entry.tx_id)
+            self._fill_l1(core_id, line, version,
+                          persistent=entry.persistent, tx_id=entry.tx_id)
+            if is_persistent_addr(line):
+                # Fig. 10 metric: persistent loads served at/below the LLC
+                self.stats.hist("persist_llc_load.latency", latency)
+            on_complete(latency, version)
+            return
+        if is_persistent_addr(line):
+            def complete_and_sample(lat: int, version: Optional[Version]) -> None:
+                self.stats.hist("persist_llc_load.latency", lat)
+                on_complete(lat, version)
+            on_load_cb: LoadCallback = complete_and_sample
+        else:
+            on_load_cb = on_complete
+        self._llc_miss(core_id, line, start, latency,
+                       is_store=False, persistent=is_persistent_addr(line),
+                       tx_id=None, store_version=None,
+                       on_load=on_load_cb, on_store=None)
+
+    def store(
+        self,
+        core_id: int,
+        addr: int,
+        version: Optional[Version],
+        persistent: bool = False,
+        tx_id: Optional[int] = None,
+        on_complete: Optional[StoreCallback] = None,
+    ) -> None:
+        """Store one line (write-allocate, write-back).
+
+        ``on_complete(latency)`` fires when the line is written in L1 —
+        after a fill if the store missed.  The architectural version is
+        installed immediately so program order is preserved for any
+        probe that observes the hierarchy."""
+        line = line_addr(addr)
+        start = self.sim.now
+        self._arch_version[line] = version
+        # MESI: take exclusive ownership up front (covers the miss path
+        # too — the fill below installs into an already-owned line)
+        self._invalidate_other_sharers(core_id, line)
+        latency = self.l1[core_id].latency
+        entry = self.l1[core_id].access(line)
+        if entry is not None:
+            entry.dirty = True
+            entry.version = version
+            entry.persistent = persistent or entry.persistent
+            entry.tx_id = tx_id
+            if on_complete is not None:
+                on_complete(latency)
+            return
+        latency += self.l2[core_id].latency
+        entry = self.l2[core_id].access(line)
+        if entry is not None:
+            self._fill_l1(core_id, line, version, dirty=True,
+                          persistent=persistent, tx_id=tx_id)
+            # L2 copy becomes stale; drop it so write-back comes from L1.
+            self.l2[core_id].invalidate(line)
+            self._fill_l2(core_id, line, version, dirty=False,
+                          persistent=persistent, tx_id=tx_id)
+            if on_complete is not None:
+                on_complete(latency)
+            return
+        latency += self._block_wait() + self.llc.latency
+        entry = self.llc.access(line)
+        if entry is not None:
+            self._fill_l2(core_id, line, entry.version,
+                          persistent=persistent, tx_id=tx_id)
+            self._fill_l1(core_id, line, version, dirty=True,
+                          persistent=persistent, tx_id=tx_id)
+            if on_complete is not None:
+                on_complete(latency)
+            return
+        self._llc_miss(core_id, line, start, latency,
+                       is_store=True, persistent=persistent, tx_id=tx_id,
+                       store_version=version,
+                       on_load=None, on_store=on_complete)
+
+    # ------------------------------------------------------------------
+    # LLC miss handling (memory fill + TC probe)
+    # ------------------------------------------------------------------
+    def _llc_miss(self, core_id, line, start, latency, *, is_store,
+                  persistent, tx_id, store_version, on_load, on_store) -> None:
+        if self.llc_probe is not None and is_persistent_addr(line):
+            # Paper §3: the LLC issues the miss toward *both* the NVM and
+            # the transaction cache.  The TC buffers the written words of
+            # the line, so its (newer) data is merged over the NVM line
+            # when the memory fill returns — the TC supplies freshness,
+            # not a faster fill.
+            probed = self.llc_probe(line)
+            if probed is not None:
+                self.stats.inc("llc_probe.hit")
+                _probe_latency, version = probed
+                self._probe_override[line] = version
+            else:
+                self.stats.inc("llc_probe.miss")
+        waiter = _MissWaiter(core_id, start, is_store, persistent, tx_id,
+                             store_version, on_load, on_store)
+        waiters = self._pending.get(line)
+        if waiters is not None:
+            waiters.append(waiter)
+            self.stats.inc("mshr.coalesced")
+            return
+        self._pending[line] = [waiter]
+        # the miss leaves the chip only after the L1/L2/LLC lookups
+        # (and any commit-block wait) have elapsed
+        self.sim.schedule(
+            latency, self.memory.read, line,
+            lambda version, cycle: self._fill(line, version),
+            f"fill.core{core_id}")
+
+    def _fill(self, line: int, version: Optional[Version]) -> None:
+        now = self.sim.now
+        if line in self._probe_override:
+            # merge the transaction cache's newer data over the NVM line
+            version = self._probe_override.pop(line)
+        waiters = self._pending.pop(line, [])
+        current = version  # newest data as waiters apply in order
+        for waiter in waiters:
+            self._install_all(waiter.core_id, line, current,
+                              persistent=waiter.persistent, tx_id=waiter.tx_id)
+            latency = now - waiter.start_cycle
+            if waiter.is_store:
+                self._apply_store(waiter.core_id, line, waiter.store_version,
+                                  waiter.persistent, waiter.tx_id)
+                current = waiter.store_version
+                if waiter.on_store is not None:
+                    waiter.on_store(latency)
+            else:
+                if waiter.on_load is not None:
+                    waiter.on_load(latency, current)
+
+    def _apply_store(self, core_id, line, version, persistent, tx_id) -> None:
+        entry = self.l1[core_id].probe(line)
+        if entry is None:  # pathological: L1 victimized by a same-set fill
+            self._fill_l1(core_id, line, version, dirty=True,
+                          persistent=persistent, tx_id=tx_id)
+            return
+        entry.dirty = True
+        entry.version = version
+        entry.persistent = persistent or entry.persistent
+        entry.tx_id = tx_id
+
+    # ------------------------------------------------------------------
+    # fills and evictions (inclusive hierarchy)
+    # ------------------------------------------------------------------
+    def _install_all(self, core_id, line, version, *, persistent, tx_id) -> None:
+        self._insert_llc(line, version, dirty=False,
+                         persistent=persistent, tx_id=tx_id)
+        self._fill_l2(core_id, line, version, persistent=persistent, tx_id=tx_id)
+        self._fill_l1(core_id, line, version, persistent=persistent, tx_id=tx_id)
+
+    def _fill_private(self, level: CacheLevel, core_id, line, version,
+                      dirty, persistent, tx_id) -> Optional[CacheLine]:
+        """Install a line into a private level without ever downgrading
+        a resident copy: a fill must not clear the dirty bit or clobber
+        newer store data already applied by an earlier MSHR waiter."""
+        existing = level.array.lookup(line)
+        if existing is not None:
+            existing.persistent = existing.persistent or persistent
+            if dirty:
+                existing.dirty = True
+                existing.version = version
+                existing.tx_id = tx_id
+            return None
+        return level.insert(line, dirty=dirty, persistent=persistent,
+                            tx_id=tx_id, version=version)
+
+    def _fill_l1(self, core_id, line, version, dirty=False,
+                 persistent=False, tx_id=None) -> None:
+        victim = self._fill_private(self.l1[core_id], core_id, line,
+                                    version, dirty, persistent, tx_id)
+        if victim is not None and victim.dirty:
+            self._fill_l2(core_id, victim.tag, victim.version, dirty=True,
+                          persistent=victim.persistent, tx_id=victim.tx_id)
+
+    def _fill_l2(self, core_id, line, version, dirty=False,
+                 persistent=False, tx_id=None) -> None:
+        victim = self._fill_private(self.l2[core_id], core_id, line,
+                                    version, dirty, persistent, tx_id)
+        if victim is not None and victim.dirty:
+            self._insert_llc(victim.tag, victim.version, dirty=True,
+                             persistent=victim.persistent, tx_id=victim.tx_id)
+
+    def _insert_llc(self, line, version, dirty=False,
+                    persistent=False, tx_id=None, pinned=False) -> None:
+        if (not pinned and dirty and persistent
+                and self.llc_pin_predicate is not None
+                and self.llc_pin_predicate(tx_id)):
+            pinned = True
+        existing = self.llc.probe(line)
+        if existing is not None:
+            if dirty:
+                existing.version = version
+                existing.dirty = True
+            elif not existing.dirty:
+                # never let a clean (possibly stale) fill clobber dirty data
+                existing.version = version
+            existing.persistent = existing.persistent or persistent
+            existing.tx_id = tx_id if tx_id is not None else existing.tx_id
+            existing.pinned = existing.pinned or pinned
+            return
+        try:
+            victim = self.llc.insert(line, dirty=dirty, persistent=persistent,
+                                     tx_id=tx_id, version=version, pinned=pinned)
+        except EvictionImpossible:
+            # Kiln pathology: the whole set is pinned.  Bypass the LLC.
+            self.stats.inc("llc.bypass")
+            if dirty:
+                self.memory.write(line, version, source="llc.bypass")
+            return
+        if victim is not None:
+            self._evict_from_llc(victim)
+
+    def _evict_from_llc(self, victim: CacheLine) -> None:
+        """Inclusive back-invalidation + write-back (or drop) of a victim."""
+        line = victim.tag
+        newest = victim.version
+        dirty = victim.dirty
+        for core_id in self.coherence.drop_line(line):
+            upper = self.l1[core_id].invalidate(line)
+            if upper is not None and upper.dirty:
+                newest, dirty = upper.version, True
+                victim.persistent = victim.persistent or upper.persistent
+            upper2 = self.l2[core_id].invalidate(line)
+            if upper2 is not None and upper2.dirty:
+                if upper is None or not upper.dirty:
+                    newest = upper2.version
+                dirty = True
+                victim.persistent = victim.persistent or upper2.persistent
+        if not dirty:
+            self.stats.inc("llc.clean_evictions")
+            return
+        if victim.persistent and self.drop_persistent_evictions:
+            # Paper §3: persistent LLC victims are discarded; the NVM only
+            # ever receives the consistent data issued by the TC.
+            self.stats.inc("llc.dropped_evictions")
+            return
+        self.stats.inc("llc.writebacks")
+        self._sent_version[line] = newest
+        self.memory.write(line, newest, source="llc.writeback")
+
+    # ------------------------------------------------------------------
+    # coherence (MESI directory consequences on the data path)
+    # ------------------------------------------------------------------
+    def _snoop_dirty(self, owner: int, line: int) -> None:
+        """Pull a remote MODIFIED line's data into the shared LLC; the
+        owner's copies stay resident but clean (M → S)."""
+        for level in (self.l1[owner], self.l2[owner]):
+            remote = level.probe(line)
+            if remote is not None and remote.dirty:
+                remote.dirty = False
+                self._insert_llc(line, remote.version, dirty=True,
+                                 persistent=remote.persistent,
+                                 tx_id=remote.tx_id)
+                self.stats.inc("coherence.snoops")
+                return
+        # the dirty copy already drained into the LLC via eviction
+
+    def _invalidate_other_sharers(self, core_id: int, line: int) -> None:
+        """Write by ``core_id``: take exclusive ownership, invalidating
+        every other holder (dirty remote data merges into the LLC)."""
+        outcome = self.coherence.on_write(core_id, line)
+        for other in outcome.invalidated:
+            for level in (self.l1[other], self.l2[other]):
+                dropped = level.invalidate(line)
+                if dropped is not None and dropped.dirty:
+                    self._insert_llc(line, dropped.version, dirty=True,
+                                     persistent=dropped.persistent,
+                                     tx_id=dropped.tx_id)
+            self.stats.inc("coherence.invalidations")
+
+    # ------------------------------------------------------------------
+    # scheme hooks
+    # ------------------------------------------------------------------
+    def _block_wait(self) -> int:
+        wait = max(0, self._blocked_until - self.sim.now)
+        if wait:
+            self.stats.inc("blocked_cycles", wait)
+        return wait
+
+    def block_until(self, cycle: int) -> None:
+        """Kiln: stall all subsequent hierarchy accesses until ``cycle``."""
+        self._blocked_until = max(self._blocked_until, cycle)
+
+    @property
+    def blocked_until(self) -> int:
+        return self._blocked_until
+
+    def newest_version(self, core_id: int, line: int) -> Optional[Version]:
+        """Architecturally newest version, searching L1→L2→LLC→memory."""
+        line = line_addr(line)
+        for level in (self.l1[core_id], self.l2[core_id], self.llc):
+            entry = level.probe(line)
+            if entry is not None:
+                return entry.version
+        return self.memory.peek(line)
+
+    def writeback_line(
+        self,
+        core_id: int,
+        addr: int,
+        on_complete: Callable[[int], None],
+    ) -> None:
+        """``clwb`` semantics: force the architecturally newest version
+        of the line back to memory (keeping it cached, now clean).
+
+        ``on_complete(cycle)`` fires when the memory write finishes —
+        this is what an ``sfence``/``pcommit`` waits on.  The version
+        comes from the program-order store record, not the cache
+        arrays, so a clwb racing a still-outstanding store-miss fill
+        (or a line already evicted with its write-back still queued)
+        still makes exactly the right data durable.  If the line was
+        never stored to, the callback fires after the L1 latency."""
+        line = line_addr(addr)
+        for level in (self.l1[core_id], self.l2[core_id], self.llc):
+            entry = level.probe(line)
+            if entry is not None and entry.dirty:
+                entry.dirty = False
+        newest = self._arch_version.get(line)
+        if newest is None or (is_persistent_addr(line)
+                              and self.memory.durable_now(line) == newest):
+            # never stored, or the newest version is already physically
+            # durable (e.g. an earlier clwb or a completed write-back)
+            self.sim.schedule(self.l1[core_id].latency,
+                              on_complete, self.sim.now)
+            return
+        self.stats.inc("clwb.writebacks")
+        self._sent_version[line] = newest
+        self.memory.write(line, newest,
+                          on_complete=lambda req, cycle: on_complete(cycle),
+                          source="clwb")
+
+    def flush_to_llc(self, core_id: int, addr: int, *, pin: bool = False) -> int:
+        """Kiln commit flush: push the line's newest copy from L1/L2
+        into the (nonvolatile) LLC.  Returns the charged latency."""
+        line = line_addr(addr)
+        newest: Optional[Version] = None
+        dirty = False
+        tx_id = None
+        for level in (self.l1[core_id], self.l2[core_id]):
+            entry = level.probe(line)
+            if entry is not None and entry.dirty:
+                if not dirty:
+                    newest = entry.version
+                    tx_id = entry.tx_id
+                dirty = True
+                entry.dirty = False
+        if not dirty:
+            return self.l1[core_id].latency
+        self._insert_llc(line, newest, dirty=True, persistent=True,
+                         tx_id=tx_id, pinned=pin)
+        self.stats.inc("kiln.commit_flushes")
+        return self.llc.latency
+
+    def pin_llc_line(self, addr: int, version: Optional[Version] = None,
+                     tx_id: Optional[int] = None) -> None:
+        """Kiln: install/pin an uncommitted line in the NV-LLC."""
+        line = line_addr(addr)
+        entry = self.llc.probe(line)
+        if entry is not None:
+            entry.pinned = True
+            if version is not None:
+                entry.version = version
+                entry.dirty = True
+            entry.persistent = True
+            entry.tx_id = tx_id if tx_id is not None else entry.tx_id
+            return
+        self._insert_llc(line, version, dirty=version is not None,
+                         persistent=True, tx_id=tx_id, pinned=True)
+
+    def unpin_llc_line(self, addr: int) -> None:
+        entry = self.llc.probe(line_addr(addr))
+        if entry is not None:
+            entry.pinned = False
+
+    def invalidate_everywhere(self, addr: int) -> None:
+        """Drop every cached copy of a line (recovery helper)."""
+        line = line_addr(addr)
+        for core_id in range(self.num_cores):
+            self.l1[core_id].invalidate(line)
+            self.l2[core_id].invalidate(line)
+        self.llc.invalidate(line)
+        self.coherence.drop_line(line)

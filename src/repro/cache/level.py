@@ -1,0 +1,57 @@
+"""One cache level: a storage array plus latency and hit/miss stats."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.config import CacheLevelConfig
+from ..common.stats import ScopedStats
+from .line import CacheArray, CacheLine
+
+
+class CacheLevel:
+    """Thin wrapper binding a :class:`CacheArray` to timing and stats."""
+
+    def __init__(
+        self,
+        config: CacheLevelConfig,
+        stats: ScopedStats,
+        freq_ghz: float,
+    ) -> None:
+        self.name = config.name
+        self.config = config
+        self.stats = stats
+        self.latency = config.latency_cycles(freq_ghz)
+        self.array = CacheArray(config.num_sets, config.assoc, config.line_size)
+
+    def access(self, line: int) -> Optional[CacheLine]:
+        """Timed lookup: counts an access and a hit or miss."""
+        self.stats.inc("access")
+        entry = self.array.lookup(line)
+        if entry is None:
+            self.stats.inc("miss")
+        else:
+            self.stats.inc("hit")
+        return entry
+
+    def probe(self, line: int) -> Optional[CacheLine]:
+        """Untimed lookup (no stats, no LRU update)."""
+        return self.array.lookup(line, touch=False)
+
+    def insert(self, line: int, **attrs) -> Optional[CacheLine]:
+        return self.array.insert(line, **attrs)
+
+    def invalidate(self, line: int) -> Optional[CacheLine]:
+        return self.array.invalidate(line)
+
+    @property
+    def accesses(self) -> float:
+        return self.stats.counter("access")
+
+    @property
+    def misses(self) -> float:
+        return self.stats.counter("miss")
+
+    def miss_rate(self) -> float:
+        accesses = self.accesses
+        return self.misses / accesses if accesses else 0.0

@@ -1,0 +1,108 @@
+"""Cache line metadata and the set-associative storage array.
+
+Every line carries the persistent/volatile (P/V) flag the paper adds to
+the existing hierarchy (Fig. 5), the transaction id of the writer, and
+a logical :class:`~repro.common.types.Version` payload used by the
+functional data path and the crash-consistency checker.  Lines can be
+*pinned* — the Kiln baseline pins uncommitted transaction lines in the
+nonvolatile LLC so they cannot be evicted, which is the mechanism
+behind the elevated LLC miss rate in the paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..common.types import Version
+
+
+@dataclass
+class CacheLine:
+    """Metadata of one resident cache line."""
+
+    tag: int                     # full line address
+    dirty: bool = False
+    persistent: bool = False     # the paper's P/V flag
+    pinned: bool = False         # Kiln: uncommitted, not evictable
+    tx_id: Optional[int] = None
+    version: Optional[Version] = None
+    last_use: int = 0
+
+
+class EvictionImpossible(Exception):
+    """Raised when every way in a set is pinned (Kiln overflow case)."""
+
+
+class CacheArray:
+    """Set-associative array with true-LRU replacement.
+
+    Replacement ignores pinned lines; when a set is entirely pinned the
+    insert raises :class:`EvictionImpossible` and the caller decides on
+    a bypass policy.
+    """
+
+    def __init__(self, num_sets: int, assoc: int, line_size: int) -> None:
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.line_size = line_size
+        self._sets: List[Dict[int, CacheLine]] = [{} for _ in range(num_sets)]
+        self._use_clock = 0
+
+    def _set_index(self, line: int) -> int:
+        return (line // self.line_size) % self.num_sets
+
+    def _tick(self) -> int:
+        self._use_clock += 1
+        return self._use_clock
+
+    def lookup(self, line: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the resident line or None; updates LRU on a hit."""
+        entry = self._sets[self._set_index(line)].get(line)
+        if entry is not None and touch:
+            entry.last_use = self._tick()
+        return entry
+
+    def contains(self, line: int) -> bool:
+        return line in self._sets[self._set_index(line)]
+
+    def insert(self, line: int, **attrs) -> Optional[CacheLine]:
+        """Insert (or update) a line; returns the evicted victim if any.
+
+        Keyword attrs (dirty/persistent/pinned/tx_id/version) are applied
+        to the inserted line.
+        """
+        cache_set = self._sets[self._set_index(line)]
+        existing = cache_set.get(line)
+        if existing is not None:
+            for key, value in attrs.items():
+                setattr(existing, key, value)
+            existing.last_use = self._tick()
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            victim = self._select_victim(cache_set)
+            del cache_set[victim.tag]
+        entry = CacheLine(tag=line, last_use=self._tick(), **attrs)
+        cache_set[line] = entry
+        return victim
+
+    def _select_victim(self, cache_set: Dict[int, CacheLine]) -> CacheLine:
+        candidates = [entry for entry in cache_set.values() if not entry.pinned]
+        if not candidates:
+            raise EvictionImpossible("all ways pinned")
+        return min(candidates, key=lambda entry: entry.last_use)
+
+    def invalidate(self, line: int) -> Optional[CacheLine]:
+        """Remove a line; returns it (with its dirty state) if present."""
+        return self._sets[self._set_index(line)].pop(line, None)
+
+    def iter_lines(self) -> Iterator[CacheLine]:
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def resident_count(self) -> int:
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def pinned_count(self) -> int:
+        return sum(1 for entry in self.iter_lines() if entry.pinned)

@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``   print the paper's Tables 1-3.
+``run``      run one (workload, scheme) experiment and print metrics.
+``compare``  run one workload under all four schemes, normalized.
+``figures``  regenerate Figures 6-10 over the Table 3 workloads.
+``crash``    crash-inject one experiment at several points and report
+             recovery consistency.
+``trace``    generate a workload trace, print its statistics, and
+             optionally dump it to a file.
+``workloads``  list registered workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .common.config import paper_machine_config, small_machine_config
+from .common.types import SchemeName
+from .sim.crash import crash_sweep
+from .sim.report import (
+    SCHEME_ORDER,
+    figure6_ipc,
+    figure7_throughput,
+    figure8_llc_miss_rate,
+    figure9_write_traffic,
+    figure10_load_latency,
+    format_figure,
+    format_table1,
+    format_table2,
+    format_table3,
+)
+from .sim.runner import run_comparison, run_experiment
+from .workloads import PAPER_WORKLOADS, WORKLOADS, create_workload
+
+SCHEME_CHOICES = [scheme.value for scheme in SchemeName]
+
+
+def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--operations", type=int, default=300,
+                        help="benchmark operations per core (default 300)")
+    parser.add_argument("--cores", type=int, default=4,
+                        help="number of cores (default 4)")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC 2017 persistent-memory-accelerator reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print the paper's Tables 1-3")
+    sub.add_parser("workloads", help="list registered workloads")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    run_parser.add_argument("scheme", choices=SCHEME_CHOICES)
+    _add_common_run_args(run_parser)
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON")
+
+    compare_parser = sub.add_parser("compare",
+                                    help="one workload, all four schemes")
+    compare_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    _add_common_run_args(compare_parser)
+
+    figures_parser = sub.add_parser("figures",
+                                    help="regenerate Figures 6-10")
+    _add_common_run_args(figures_parser)
+
+    crash_parser = sub.add_parser("crash", help="crash-injection sweep")
+    crash_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    crash_parser.add_argument("scheme", choices=SCHEME_CHOICES)
+    crash_parser.add_argument("--operations", type=int, default=40)
+    crash_parser.add_argument("--cores", type=int, default=1)
+    crash_parser.add_argument("--seed", type=int, default=42)
+    crash_parser.add_argument(
+        "--fractions", type=float, nargs="+",
+        default=[0.1, 0.25, 0.5, 0.75, 0.9],
+        help="crash points as fractions of the uninterrupted run")
+
+    trace_parser = sub.add_parser("trace", help="generate a trace")
+    trace_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    trace_parser.add_argument("--operations", type=int, default=100)
+    trace_parser.add_argument("--seed", type=int, default=42)
+    trace_parser.add_argument("--out", help="dump the trace (JSON lines)")
+
+    mix_parser = sub.add_parser(
+        "mix", help="heterogeneous mix: one workload per core")
+    mix_parser.add_argument("mix_workloads", nargs="+",
+                            metavar="WORKLOAD",
+                            choices=sorted(WORKLOADS))
+    mix_parser.add_argument("--scheme", choices=SCHEME_CHOICES,
+                            default="txcache")
+    mix_parser.add_argument("--operations", type=int, default=200)
+    mix_parser.add_argument("--seed", type=int, default=42)
+
+    validate_parser = sub.add_parser(
+        "validate", help="sanity-check a workload/config combination")
+    validate_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    _add_common_run_args(validate_parser)
+    return parser
+
+
+def _print_result(result, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return
+    rows = [
+        ("cycles", result.cycles),
+        ("instructions executed", result.instructions_executed),
+        ("IPC", f"{result.ipc:.3f}"),
+        ("transactions", result.transactions),
+        ("tx / 1k cycles", f"{result.throughput * 1e3:.3f}"),
+        ("LLC miss rate", f"{result.llc_miss_rate:.3f}"),
+        ("NVM lines written", f"{result.nvm_write_lines:.0f}"),
+        ("persistent load latency", f"{result.persist_load_latency:.1f}"),
+        ("TC-full stall events", f"{result.tc_full_stall_events:.0f}"),
+    ]
+    print(f"{result.workload} / {result.scheme.value}")
+    for name, value in rows:
+        print(f"  {name:<24}{value}")
+
+
+def cmd_tables(_args) -> int:
+    config = paper_machine_config()
+    print(format_table1(config))
+    print()
+    print(format_table2(config))
+    print()
+    print(format_table3())
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    for name, cls in sorted(WORKLOADS.items()):
+        marker = "*" if name in PAPER_WORKLOADS else " "
+        print(f" {marker} {name:<12} {cls.description}")
+    print(" (* = paper Table 3 workload)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    result = run_experiment(args.workload, args.scheme,
+                            num_cores=args.cores,
+                            operations=args.operations, seed=args.seed)
+    _print_result(result, args.json)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = small_machine_config(num_cores=args.cores)
+    results = run_comparison(args.workload, config=config,
+                             operations=args.operations, seed=args.seed)
+    optimal = results[SchemeName.OPTIMAL]
+    header = (f"{'scheme':<10}{'cycles':>10}{'rel IPC':>9}{'rel thr':>9}"
+              f"{'NVM writes':>12}{'miss rate':>11}")
+    print(f"{args.workload} ({args.cores} cores, "
+          f"{args.operations} ops/core)")
+    print(header)
+    print("-" * len(header))
+    for scheme in SCHEME_ORDER:
+        result = results[scheme]
+        print(f"{scheme.value:<10}{result.cycles:>10}"
+              f"{result.ipc / optimal.ipc:>9.3f}"
+              f"{result.throughput / optimal.throughput:>9.3f}"
+              f"{result.nvm_write_lines:>12.0f}"
+              f"{result.llc_miss_rate:>11.3f}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    config = small_machine_config(num_cores=args.cores)
+    grid = {}
+    for workload in PAPER_WORKLOADS:
+        print(f"running {workload}...", file=sys.stderr)
+        grid[workload] = run_comparison(workload, config=config,
+                                        operations=args.operations,
+                                        seed=args.seed)
+    pressure = config.scaled_llc(128 * 1024)
+    pressure_grid = {}
+    for workload in PAPER_WORKLOADS:
+        print(f"running {workload} (reuse regime)...", file=sys.stderr)
+        pressure_grid[workload] = run_comparison(
+            workload, config=pressure, operations=args.operations,
+            seed=args.seed)
+    for title, figure, source in (
+            ("Figure 6: IPC", figure6_ipc, grid),
+            ("Figure 7: Throughput", figure7_throughput, grid),
+            ("Figure 8: LLC miss rate", figure8_llc_miss_rate, pressure_grid),
+            ("Figure 9: NVM write traffic", figure9_write_traffic, grid),
+            ("Figure 10: Persistent load latency", figure10_load_latency,
+             grid)):
+        print(format_figure(f"{title}, normalized to Optimal",
+                            figure(source)))
+        print()
+    return 0
+
+
+def cmd_crash(args) -> int:
+    reports = crash_sweep(args.workload, args.scheme,
+                          fractions=args.fractions,
+                          operations=args.operations,
+                          num_cores=args.cores, seed=args.seed)
+    failures = 0
+    for report in reports:
+        status = "CONSISTENT" if report.consistent else "TORN"
+        print(f"crash @ {report.crash_cycle:>8} "
+              f"({report.crash_cycle / report.total_cycles:4.0%}): "
+              f"{len(report.committed):>4} tx durable, "
+              f"{report.recovered_lines:>5} lines -> {status}")
+        for violation in report.violations[:3]:
+            print(f"    {violation}")
+        failures += not report.consistent
+    if failures and SchemeName.parse(args.scheme) is not SchemeName.OPTIMAL:
+        print(f"{failures} inconsistent crash points!")
+        return 1
+    return 0
+
+
+def cmd_trace(args) -> int:
+    workload = create_workload(args.workload, seed=args.seed)
+    trace = workload.generate(args.operations)
+    print(f"trace: {trace.name}")
+    print(f"  ops:               {len(trace)}")
+    print(f"  instructions:      {trace.instructions}")
+    print(f"  transactions:      {trace.transactions}")
+    print(f"  persistent stores: {trace.persistent_stores}")
+    if args.out:
+        with open(args.out, "w") as fp:
+            trace.dump(fp)
+        print(f"  written to {args.out}")
+    return 0
+
+
+def cmd_mix(args) -> int:
+    from .sim.runner import collect_result, make_mixed_traces
+    from .sim.system import System
+
+    config = small_machine_config(num_cores=len(args.mix_workloads))
+    traces = make_mixed_traces(args.mix_workloads, args.operations,
+                               seed=args.seed)
+    system = System(config, args.scheme)
+    system.load_traces(traces)
+    system.run()
+    result = collect_result(system, workload="+".join(args.mix_workloads))
+    _print_result(result, as_json=False)
+    for core, trace in zip(system.cores, traces):
+        print(f"  core {core.core_id} ({trace.name}): "
+              f"{core.committed_transactions} tx in {core.cycle} cycles")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .sim.runner import make_traces
+    from .sim.validate import validate_setup
+
+    config = small_machine_config(num_cores=args.cores)
+    traces = make_traces(args.workload, args.cores, args.operations,
+                         seed=args.seed)
+    report = validate_setup(config, traces)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+COMMANDS = {
+    "tables": cmd_tables,
+    "workloads": cmd_workloads,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "figures": cmd_figures,
+    "crash": cmd_crash,
+    "trace": cmd_trace,
+    "mix": cmd_mix,
+    "validate": cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

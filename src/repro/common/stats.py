@@ -1,0 +1,201 @@
+"""Statistics registry shared by all simulator components.
+
+Components record two kinds of measurements:
+
+* **counters** — monotonically increasing event counts
+  (``stats.inc("llc.miss")``), and
+* **samples** — per-event values whose distribution matters
+  (``stats.sample("load.latency", 130)``), tracked as
+  sum/count/min/max so means are cheap and memory use is O(1).
+
+Names are dotted strings; :meth:`Stats.scoped` returns a light view that
+prefixes every name, so a component can write ``self.stats.inc("hit")``
+and the registry stores ``l1.0.hit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+@dataclass
+class SampleSummary:
+    """Streaming summary of a sampled value."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Histogram:
+    """Power-of-two-bucketed histogram for latency distributions.
+
+    Bucket ``i`` counts values in ``[2**i, 2**(i+1))`` (bucket 0 also
+    absorbs values < 1).  O(1) memory per distinct magnitude, good
+    enough for percentile estimates on cycle counts.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+
+    @staticmethod
+    def _bucket(value: float) -> int:
+        if value < 1:
+            return 0
+        return int(value).bit_length() - 1
+
+    def add(self, value: float) -> None:
+        bucket = self._bucket(value)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self.count += 1
+
+    def percentile(self, fraction: float) -> float:
+        """Upper bound of the bucket containing the given percentile
+        (e.g. ``percentile(0.99)`` ≈ p99).  0.0 when empty."""
+        if not self.count:
+            return 0.0
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        target = fraction * self.count
+        seen = 0
+        for bucket in sorted(self._buckets):
+            seen += self._buckets[bucket]
+            if seen >= target:
+                return float(2 ** (bucket + 1))
+        return float(2 ** (max(self._buckets) + 1))
+
+    def buckets(self) -> Dict[int, int]:
+        """bucket index → count (bucket i spans [2^i, 2^(i+1)))."""
+        return dict(self._buckets)
+
+
+class Stats:
+    """Flat registry of counters, sample summaries, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._samples: Dict[str, SampleSummary] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- counters ----------------------------------------------------
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> float:
+        """Read counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    # -- samples -----------------------------------------------------
+    def sample(self, name: str, value: float) -> None:
+        """Record one observation of the sampled value ``name``."""
+        summary = self._samples.get(name)
+        if summary is None:
+            summary = self._samples[name] = SampleSummary()
+        summary.add(value)
+
+    def summary(self, name: str) -> SampleSummary:
+        """Summary for sample ``name`` (empty summary if never seen)."""
+        return self._samples.get(name, SampleSummary())
+
+    def mean(self, name: str) -> float:
+        """Mean of sample ``name`` (0.0 if never seen)."""
+        return self.summary(name).mean
+
+    # -- histograms ----------------------------------------------------
+    def hist(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name`` (and its
+        streaming summary)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.add(value)
+        self.sample(name, value)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.get(name, Histogram())
+
+    def percentile(self, name: str, fraction: float) -> float:
+        return self.histogram(name).percentile(fraction)
+
+    # -- bulk access ---------------------------------------------------
+    def counters(self, prefix: str = "") -> Dict[str, float]:
+        """All counters whose name starts with ``prefix``."""
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    def counter_sum(self, prefix: str) -> float:
+        """Sum of all counters whose name starts with ``prefix``."""
+        return sum(self.counters(prefix).values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten everything into one dict (samples expand to
+        ``name.mean`` / ``name.count`` / ``name.max`` entries)."""
+        out: Dict[str, float] = dict(self._counters)
+        for name, summary in self._samples.items():
+            out[f"{name}.mean"] = summary.mean
+            out[f"{name}.count"] = summary.count
+            if summary.count:
+                out[f"{name}.min"] = summary.minimum
+                out[f"{name}.max"] = summary.maximum
+        return out
+
+    def scoped(self, prefix: str) -> "ScopedStats":
+        """A view that prefixes every recorded name with ``prefix.``."""
+        return ScopedStats(self, prefix)
+
+
+class ScopedStats:
+    """Prefixing facade over a :class:`Stats` registry."""
+
+    def __init__(self, parent: Stats, prefix: str) -> None:
+        self._parent = parent
+        self._prefix = prefix.rstrip(".")
+
+    def _name(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self._parent.inc(self._name(name), amount)
+
+    def counter(self, name: str) -> float:
+        return self._parent.counter(self._name(name))
+
+    def sample(self, name: str, value: float) -> None:
+        self._parent.sample(self._name(name), value)
+
+    def hist(self, name: str, value: float) -> None:
+        self._parent.hist(self._name(name), value)
+
+    def histogram(self, name: str):
+        return self._parent.histogram(self._name(name))
+
+    def percentile(self, name: str, fraction: float) -> float:
+        return self._parent.percentile(self._name(name), fraction)
+
+    def mean(self, name: str) -> float:
+        return self._parent.mean(self._name(name))
+
+    def summary(self, name: str) -> SampleSummary:
+        return self._parent.summary(self._name(name))
+
+    def scoped(self, prefix: str) -> "ScopedStats":
+        return ScopedStats(self._parent, self._name(prefix))

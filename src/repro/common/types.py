@@ -1,0 +1,142 @@
+"""Shared value types: address spaces, memory requests, trace versions.
+
+Addresses are plain integers (byte addresses).  The machine exposes two
+physical spaces — volatile DRAM and persistent NVM — split by a fixed
+base address (see :data:`NVM_BASE`): the persistent heap allocator hands
+out NVM addresses, everything else lives in DRAM.  This mirrors the
+paper's hybrid memory bus with one controller per space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Cache line size in bytes (paper: 64 B lines).
+CACHE_LINE_SIZE = 64
+
+#: Byte addresses at or above this value live in the persistent (NVM)
+#: space; everything below is volatile DRAM.
+NVM_BASE = 1 << 40
+
+
+class MemSpace(enum.Enum):
+    """Which physical memory a request targets."""
+
+    DRAM = "dram"
+    NVM = "nvm"
+
+    @staticmethod
+    def of(addr: int) -> "MemSpace":
+        """Classify a byte address into its physical space."""
+        return MemSpace.NVM if addr >= NVM_BASE else MemSpace.DRAM
+
+
+def line_addr(addr: int) -> int:
+    """Round a byte address down to its cache-line address."""
+    return addr & ~(CACHE_LINE_SIZE - 1)
+
+
+#: Application persistent heaps live in [NVM_BASE, HOME_REGION_LIMIT);
+#: everything above is scheme metadata (logs, shadow copies, commit
+#: records) and is excluded from recovered application images.
+HOME_REGION_LIMIT = NVM_BASE + (1 << 36)
+
+
+def is_persistent_addr(addr: int) -> bool:
+    """True if the address belongs to the persistent (NVM) space."""
+    return addr >= NVM_BASE
+
+
+def is_home_line(addr: int) -> bool:
+    """True for application persistent-heap lines (not scheme metadata)."""
+    return NVM_BASE <= addr < HOME_REGION_LIMIT
+
+
+@dataclass(frozen=True)
+class Version:
+    """A logical data version used by the crash-consistency checker.
+
+    Rather than modelling byte payloads, every persistent store carries
+    a ``Version`` identifying which transaction wrote it and where in
+    that transaction's program order the write sits.  The recovery
+    checker compares recovered versions against the set of durable
+    transactions.  ``tx_id`` is ``None`` for non-transactional writes.
+    """
+
+    tx_id: Optional[int]
+    seq: int
+
+    def __repr__(self) -> str:  # compact for test failure output
+        return f"V(tx={self.tx_id},seq={self.seq})"
+
+
+class MemReqType(enum.Enum):
+    """Request kinds accepted by a memory controller."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class MemRequest:
+    """A single line-granular request to a memory controller.
+
+    Attributes:
+        addr: byte address (any address within the line is accepted;
+            controllers operate on :func:`line_addr` internally).
+        req_type: read or write.
+        persistent: True when the write carries persistent data whose
+            completion must be acknowledged (the TC drains on acks).
+        tx_id: transaction the data belongs to, if any.
+        version: logical payload for the crash-consistency checker.
+        callback: invoked as ``callback(request, completion_cycle)``
+            when the controller finishes servicing the request.
+        issue_cycle: stamped by the controller at enqueue time.
+        source: free-form tag identifying the requester (stats/debug).
+    """
+
+    addr: int
+    req_type: MemReqType
+    persistent: bool = False
+    tx_id: Optional[int] = None
+    version: Optional[Version] = None
+    callback: Optional[Callable[["MemRequest", int], None]] = None
+    issue_cycle: int = 0
+    source: str = ""
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def line(self) -> int:
+        return line_addr(self.addr)
+
+    @property
+    def is_write(self) -> bool:
+        return self.req_type is MemReqType.WRITE
+
+    @property
+    def space(self) -> MemSpace:
+        return MemSpace.of(self.addr)
+
+
+class SchemeName(enum.Enum):
+    """The four persistence mechanisms compared in the paper (§5.1)."""
+
+    OPTIMAL = "optimal"   # native execution, no persistence guarantee
+    SP = "sp"             # software WAL + flush/fence ordering
+    KILN = "kiln"         # nonvolatile LLC, flush-on-commit ([23])
+    TXCACHE = "txcache"   # this paper's transaction-cache accelerator
+
+    @staticmethod
+    def parse(name: "str | SchemeName") -> "SchemeName":
+        if isinstance(name, SchemeName):
+            return name
+        return SchemeName(name.lower())
+
+
+def ns_to_cycles(ns: float, freq_ghz: float) -> int:
+    """Convert nanoseconds to (rounded-up) CPU cycles at ``freq_ghz``."""
+    cycles = ns * freq_ghz
+    whole = int(cycles)
+    return max(1, whole if cycles == whole else whole + 1)

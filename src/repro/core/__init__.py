@@ -1,0 +1,39 @@
+"""The paper's contribution: the nonvolatile transaction cache and its
+accelerator logic, including the overflow copy-on-write fall-back."""
+
+from .accelerator import PersistentMemoryAccelerator
+from .recovery import RecoveryResult, simulate_recovery
+from .overflow import (
+    RECORD_BASE,
+    SHADOW_OFFSET,
+    FallbackTx,
+    OverflowManager,
+    is_metadata_line,
+    record_addr,
+    shadow_addr,
+)
+from .txcache import (
+    TransactionCache,
+    TxEntry,
+    TxState,
+    hardware_overhead,
+    overhead_summary_bits,
+)
+
+__all__ = [
+    "RECORD_BASE",
+    "SHADOW_OFFSET",
+    "FallbackTx",
+    "OverflowManager",
+    "PersistentMemoryAccelerator",
+    "RecoveryResult",
+    "TransactionCache",
+    "TxEntry",
+    "TxState",
+    "hardware_overhead",
+    "is_metadata_line",
+    "overhead_summary_bits",
+    "record_addr",
+    "shadow_addr",
+    "simulate_recovery",
+]

@@ -1,0 +1,179 @@
+"""Persistent memory accelerator: per-core TCs + controller glue.
+
+This is the stand-alone hardware module of the paper's Fig. 3(c): one
+nonvolatile transaction cache per core, the logic that issues committed
+entries toward the NVM, consumes the NVM controller's acknowledgment
+messages, answers LLC miss probes with the newest buffered version, and
+wakes stalled CPUs when a full TC gains room.
+
+The accelerator is deliberately *mechanical* — policy (when to fall
+back on overflow, what counts as durably committed) lives in the
+TXCACHE persistence scheme that drives it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..common.config import MachineConfig
+from ..common.event import Simulator
+from ..common.stats import Stats
+from ..common.types import MemRequest, Version, line_addr
+from ..memory.system import MemorySystem
+from .txcache import TransactionCache, TxEntry, TxState
+
+
+class PersistentMemoryAccelerator:
+    """All per-core transaction caches plus their shared NVM-side logic."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        stats: Stats,
+        memory: MemorySystem,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.memory = memory
+        self.stats = stats.scoped("tc")
+        self.latency = config.txcache.latency_cycles(config.freq_ghz)
+        self._global_seq = 0
+
+        def next_seq() -> int:
+            self._global_seq += 1
+            return self._global_seq
+
+        if config.txcache.organization == "set_assoc":
+            from .setassoc import SetAssocTransactionBuffer
+
+            self.tcs = [
+                SetAssocTransactionBuffer(
+                    config.txcache, stats.scoped(f"tc.{i}"),
+                    seq_source=next_seq, assoc=config.txcache.assoc)
+                for i in range(config.num_cores)
+            ]
+        elif config.txcache.organization == "cam_fifo":
+            self.tcs = [
+                TransactionCache(config.txcache, stats.scoped(f"tc.{i}"),
+                                 seq_source=next_seq)
+                for i in range(config.num_cores)
+            ]
+        else:
+            raise ValueError(
+                f"unknown TC organization {config.txcache.organization!r}")
+        # CPUs stalled on a full TC, per core: resume callbacks
+        self._space_waiters: Dict[int, List[Callable[[], None]]] = {
+            i: [] for i in range(config.num_cores)
+        }
+        # issued-but-unacked writes per core (paced commit drain)
+        self._outstanding: Dict[int, int] = {
+            i: 0 for i in range(config.num_cores)
+        }
+        self.issue_window = config.txcache.issue_window
+        memory.set_nvm_ack_handler(self.on_ack)
+
+    # ------------------------------------------------------------------
+    # CPU side
+    # ------------------------------------------------------------------
+    def cpu_write(self, core_id: int, tx_id: int, addr: int,
+                  version: Optional[Version]) -> bool:
+        """Non-blocking write request from the CPU (§3 working flow).
+        Returns False when the TC is full — the caller must stall and
+        register with :meth:`wait_for_space`."""
+        return self.tcs[core_id].write(tx_id, addr, version)
+
+    def wait_for_space(self, core_id: int, resume: Callable[[], None]) -> None:
+        self.stats.inc("full_stalls")
+        self._space_waiters[core_id].append(resume)
+
+    def cpu_commit(self, core_id: int, tx_id: int) -> int:
+        """Commit request from the CPU; returns the number of entries
+        committed.  Issuing toward the NVM happens immediately after."""
+        committed = self.tcs[core_id].commit(tx_id)
+        self._issue(core_id)
+        return len(committed)
+
+    def near_overflow(self, core_id: int) -> bool:
+        return self.tcs[core_id].above_threshold()
+
+    # ------------------------------------------------------------------
+    # NVM side
+    # ------------------------------------------------------------------
+    def _issue(self, core_id: int) -> None:
+        """Send committed entries toward the NVM in FIFO order, paced
+        to ``issue_window`` outstanding writes per core.  Routing of
+        the later acknowledgment uses the request's ``source`` tag."""
+        budget = self.issue_window - self._outstanding[core_id]
+        if budget <= 0:
+            return
+        for entry in self.tcs[core_id].take_issuable(limit=budget):
+            self._outstanding[core_id] += 1
+            self.memory.write(
+                entry.tag, entry.version,
+                persistent=True, tx_id=entry.tx_id,
+                source=f"tc.{core_id}",
+            )
+
+    def on_ack(self, request: MemRequest, cycle: int) -> None:
+        """Acknowledgment message from the NVM controller (§4.3): the
+        write completed in the array, so the backup copy can be freed."""
+        core_id = self._core_of(request)
+        if core_id is None:
+            self.stats.inc("ack.unrouted")
+            return
+        tc = self.tcs[core_id]
+        was_full = tc.is_full()
+        tc.ack(request.line)
+        if self._outstanding[core_id] > 0:
+            self._outstanding[core_id] -= 1
+        self._issue(core_id)
+        if was_full and not tc.is_full():
+            waiters = self._space_waiters[core_id]
+            self._space_waiters[core_id] = []
+            for resume in waiters:
+                self.sim.schedule(self.latency, resume)
+
+    @staticmethod
+    def _core_of(request: MemRequest) -> Optional[int]:
+        source = request.source
+        if source.startswith("tc."):
+            try:
+                return int(source.split(".", 1)[1])
+            except ValueError:
+                return None
+        return None
+
+    # ------------------------------------------------------------------
+    # LLC side
+    # ------------------------------------------------------------------
+    def llc_probe(self, line: int) -> Optional[Tuple[int, Optional[Version]]]:
+        """LLC miss request (§3): return the newest buffered version of
+        the line across all TCs, or None.  The probe costs one TC
+        access."""
+        best: Optional[TxEntry] = None
+        for tc in self.tcs:
+            entry = tc.probe(line)
+            if entry is not None and (best is None or entry.seq > best.seq):
+                best = entry
+        if best is None:
+            return None
+        return self.latency, best.version
+
+    # ------------------------------------------------------------------
+    def busy(self) -> bool:
+        """True while any TC still holds live (unacked) entries."""
+        return any(tc.live_entries() for tc in self.tcs)
+
+    def recover(
+        self, durable_nvm: Dict[int, Optional[Version]]
+    ) -> Dict[int, Optional[Version]]:
+        """Crash recovery (§3, Multiversioning): replay the committed
+        entries buffered in the nonvolatile TCs, in FIFO order, on top
+        of the NVM image found after the crash.  Active (uncommitted)
+        entries are discarded."""
+        recovered = dict(durable_nvm)
+        for tc in self.tcs:
+            for entry in tc.committed_unacked():
+                recovered[entry.tag] = entry.version
+        return recovered

@@ -1,0 +1,165 @@
+"""Transaction-cache overflow fall-back: hardware-controlled copy-on-write.
+
+A transaction larger than the TC would fill the FIFO with active
+(uncommittable) entries and deadlock the CPU.  The paper (§4.1) adopts
+a fall-back: once the TC is *almost* full (default 90 %), the
+overflowing transaction is demoted to a hardware copy-on-write path:
+
+1. the transaction's entries already buffered in the TC are re-issued
+   as writes to a **shadow region** of the NVM and freed from the TC
+   (making room for other transactions);
+2. subsequent writes of that transaction bypass the TC and go straight
+   to the shadow region;
+3. at commit, the hardware waits for every shadow write to become
+   durable, then persists a per-transaction **commit record**;
+4. after the record is durable the shadow data is copied to its home
+   addresses in the background.
+
+The commit record is the single atomicity point: recovery applies a
+fallback transaction's writes iff its record is durable — before the
+record, home locations are untouched (copy-on-write), after it, the
+shadow region holds every write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..common.event import Simulator
+from ..common.stats import ScopedStats
+from ..common.types import NVM_BASE, Version, line_addr
+
+#: shadow copy of home line L lives at L + SHADOW_OFFSET (still in NVM)
+SHADOW_OFFSET = 1 << 38
+#: commit records live in their own NVM region, one line per transaction
+RECORD_BASE = NVM_BASE + (1 << 37)
+
+
+def shadow_addr(home_line: int) -> int:
+    return home_line + SHADOW_OFFSET
+
+
+def record_addr(tx_id: int) -> int:
+    return RECORD_BASE + tx_id * 64
+
+
+def is_metadata_line(line: int) -> bool:
+    """True for shadow/record lines (excluded from recovered images)."""
+    return line >= RECORD_BASE
+
+
+@dataclass
+class FallbackTx:
+    """State of one transaction running on the copy-on-write path."""
+
+    tx_id: int
+    core_id: int
+    writes: Dict[int, Version] = field(default_factory=dict)  # home line → newest
+    outstanding_shadow: int = 0
+    commit_requested: bool = False
+    record_durable_at: Optional[int] = None
+    resume: Optional[Callable[[], None]] = None
+
+
+class OverflowManager:
+    """Drives the COW fall-back path for every core."""
+
+    def __init__(self, sim: Simulator, memory, stats: ScopedStats) -> None:
+        self.sim = sim
+        self.memory = memory
+        self.stats = stats
+        #: transactions currently (or historically) on the fall-back path
+        self.fallback: Dict[int, FallbackTx] = {}
+        self._active_by_core: Dict[int, int] = {}  # core → tx on COW path
+
+    # ------------------------------------------------------------------
+    def is_fallback(self, tx_id: int) -> bool:
+        return tx_id in self.fallback
+
+    def active_fallback_for(self, core_id: int) -> Optional[int]:
+        return self._active_by_core.get(core_id)
+
+    def divert(self, core_id: int, tx_id: int,
+               buffered: List[Tuple[int, Optional[Version]]]) -> None:
+        """Demote ``tx_id`` to the COW path, re-issuing its already
+        buffered (home line, version) writes to the shadow region."""
+        state = FallbackTx(tx_id=tx_id, core_id=core_id)
+        self.fallback[tx_id] = state
+        self._active_by_core[core_id] = tx_id
+        self.stats.inc("fallback.transactions")
+        for line, version in buffered:
+            self.write(core_id, tx_id, line, version)
+
+    def write(self, core_id: int, tx_id: int, addr: int,
+              version: Optional[Version]) -> None:
+        """A COW-path write: goes to the shadow region, non-blocking."""
+        state = self.fallback[tx_id]
+        line = line_addr(addr)
+        state.writes[line] = version
+        state.outstanding_shadow += 1
+        self.stats.inc("fallback.shadow_writes")
+
+        def shadow_done(_request, _cycle) -> None:
+            state.outstanding_shadow -= 1
+            self._maybe_write_record(state)
+
+        self.memory.write(shadow_addr(line), version,
+                          on_complete=shadow_done,
+                          source=f"cow.shadow.{core_id}")
+
+    def commit(self, core_id: int, tx_id: int,
+               resume: Callable[[], None]) -> None:
+        """Commit a COW transaction: wait for shadow durability, then
+        persist the commit record; ``resume()`` fires once the record
+        is durable (the transaction's atomicity point)."""
+        state = self.fallback[tx_id]
+        state.commit_requested = True
+        state.resume = resume
+        self._active_by_core.pop(core_id, None)
+        self._maybe_write_record(state)
+
+    def _maybe_write_record(self, state: FallbackTx) -> None:
+        if (not state.commit_requested or state.outstanding_shadow
+                or state.record_durable_at is not None):
+            return
+        state.record_durable_at = -1  # record write in flight
+
+        def record_done(_request, cycle: int) -> None:
+            state.record_durable_at = cycle
+            self.stats.inc("fallback.commits")
+            if state.resume is not None:
+                state.resume()
+                state.resume = None
+            self._copy_home(state)
+
+        self.memory.write(record_addr(state.tx_id),
+                          Version(state.tx_id, -1),
+                          on_complete=record_done,
+                          source=f"cow.record.{state.core_id}")
+
+    def _copy_home(self, state: FallbackTx) -> None:
+        """Background copy shadow → home after the record is durable."""
+        for line, version in state.writes.items():
+            self.memory.write(line, version,
+                              source=f"cow.copy.{state.core_id}")
+            self.stats.inc("fallback.home_copies")
+
+    # ------------------------------------------------------------------
+    # recovery view
+    # ------------------------------------------------------------------
+    def committed_at(self, crash_cycle: int) -> List[FallbackTx]:
+        """Fallback transactions whose commit record was durable by
+        ``crash_cycle`` — recovery applies exactly these."""
+        return [
+            state for state in self.fallback.values()
+            if state.record_durable_at is not None
+            and 0 <= state.record_durable_at <= crash_cycle
+        ]
+
+    def busy(self) -> bool:
+        return any(
+            state.outstanding_shadow or
+            (state.commit_requested and state.record_durable_at in (None, -1))
+            for state in self.fallback.values()
+        )

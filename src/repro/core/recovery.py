@@ -1,0 +1,148 @@
+"""Timed post-crash recovery procedure for the persistent memory
+accelerator.
+
+The paper's recovery story (§3, Multiversioning) is stated but not
+evaluated: after a failure, the nonvolatile TC still holds the
+committed-but-unacknowledged entries, and recovery writes them to the
+NVM in FIFO order; active entries are discarded.  This module makes
+that procedure a first-class, *timed* simulation so recovery latency
+can be studied (an extension the paper leaves open):
+
+1. scan every core's TC array (one CAM access per entry),
+2. discard active entries, re-issue committed entries to the NVM
+   controller in FIFO order,
+3. for fall-back transactions whose commit record is durable, copy the
+   shadow region to the home addresses (one read + one write each),
+4. wait for all writes to drain — the machine may then restart.
+
+:func:`simulate_recovery` replays this on a *fresh* memory system
+seeded with the crashed NVM image, returning the recovered image and
+the recovery latency in cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.config import MachineConfig
+from ..common.event import Simulator
+from ..common.stats import Stats
+from ..common.types import Version, is_home_line
+from ..memory.system import MemorySystem
+from .accelerator import PersistentMemoryAccelerator
+from .overflow import OverflowManager
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one timed recovery simulation."""
+
+    cycles: int                      # crash-to-restart latency
+    entries_scanned: int             # TC lines examined
+    entries_replayed: int            # committed lines written to NVM
+    entries_discarded: int           # active (uncommitted) lines dropped
+    fallback_lines_copied: int       # COW shadow → home copies
+    image: Dict[int, Optional[Version]] = field(default_factory=dict)
+
+
+def simulate_recovery(
+    config: MachineConfig,
+    accelerator: PersistentMemoryAccelerator,
+    overflow: Optional[OverflowManager],
+    crashed_nvm: Dict[int, Optional[Version]],
+    crash_cycle: int,
+    commit_cycle: Optional[Dict[int, int]] = None,
+) -> RecoveryResult:
+    """Replay the hardware recovery procedure with timing.
+
+    Args:
+        config: machine configuration (controller timing comes from it).
+        accelerator: the crashed machine's accelerator — its TCs are
+            nonvolatile and are read in place.
+        overflow: the crashed machine's COW manager (None if unused).
+        crashed_nvm: NVM home-region image found after the crash
+            (line → version).
+        crash_cycle: the crash point; fall-back transactions count as
+            committed iff their record was durable by then.
+
+    Returns:
+        A :class:`RecoveryResult` whose ``image`` is the recovered NVM
+        contents and whose ``cycles`` is the simulated recovery time.
+    """
+    sim = Simulator()
+    stats = Stats()
+    memory = MemorySystem(sim, config, stats)
+    for line, version in crashed_nvm.items():
+        memory.poke(line, version)
+        memory.durable_image.record(0, line, version)
+
+    tc_latency = config.txcache.latency_cycles(config.freq_ghz)
+    now = 0
+    scanned = replayed = discarded = 0
+
+    # 1-2. scan each TC; re-issue committed entries in FIFO order.
+    replay: List[Tuple[int, Dict[int, Optional[Version]]]] = []
+    for tc in accelerator.tcs:
+        for entry in tc.live_entries():
+            scanned += 1
+            now += tc_latency  # CAM read of the entry
+        by_tx: Dict[int, Dict[int, Optional[Version]]] = {}
+        for entry in tc.committed_unacked():
+            by_tx.setdefault(entry.tx_id, {})[entry.tag] = entry.version
+        discarded += len(tc.active_entries())
+        for tx_id, lines in by_tx.items():
+            replay.append((tx_id, lines))
+
+    # Lines already owned by a later-committed transaction in the
+    # crashed image must not be rolled back by older replayed data
+    # (possible when a fall-back transaction's home copies and a later
+    # TC transaction race on one line).
+    commit_cycle = commit_cycle or {}
+
+    def committed_later(line: int, than_cycle: int) -> bool:
+        existing = crashed_nvm.get(line)
+        if existing is None or existing.tx_id is None:
+            return False
+        return commit_cycle.get(existing.tx_id, -1) > than_cycle
+
+    for tx_id, lines in sorted(replay, key=lambda item: item[0]):
+        when = commit_cycle.get(tx_id, crash_cycle)
+        for line, version in lines.items():
+            if committed_later(line, when):
+                continue
+            sim.schedule_at(now, memory.write, line, version)
+            replayed += 1
+
+    # 3. fall-back transactions with durable records: copy shadow → home
+    #    — with the same later-owner guard.
+
+    copied = 0
+    if overflow is not None:
+        read_cycles = config.nvm.timing.read_cycles(config.freq_ghz,
+                                                    row_hit=False)
+        for state in overflow.committed_at(crash_cycle):
+            for line, version in state.writes.items():
+                now += read_cycles          # read the shadow copy
+                if committed_later(line, state.record_durable_at):
+                    continue
+                sim.schedule_at(now, memory.write, line, version)
+                copied += 1
+
+    # 4. drain.
+    sim.run()
+    end = max(sim.now, now)
+
+    image = {
+        line: version
+        for line, version in memory.durable_image.final_state().items()
+        if is_home_line(line)
+    }
+    return RecoveryResult(
+        cycles=end,
+        entries_scanned=scanned,
+        entries_replayed=replayed,
+        entries_discarded=discarded,
+        fallback_lines_copied=copied,
+        image=image,
+    )

@@ -1,0 +1,283 @@
+"""The nonvolatile transaction cache (TC) — the paper's key component.
+
+A content-addressable FIFO (CAM FIFO, §4.1): write requests from the
+CPU are inserted at the head, committed entries are issued toward the
+NVM from the tail in FIFO (= program) order, and entries are freed only
+by the NVM controller's acknowledgment messages.
+
+Each entry carries ``{TxID, State, Tag, Data}`` with
+``State ∈ {available, active, committed}``:
+
+* **write request** (CPU, in transaction mode): if the head entry is
+  available, fill it and advance the head; otherwise the TC is full and
+  the CPU stalls.
+* **commit request** (CPU, at ``TX_END``): CAM-match on TxID; every
+  active entry of the transaction becomes committed.  Committed
+  entries are issued to the NVM in FIFO order.
+* **acknowledgment** (NVM controller): CAM-match on the address; the
+  matched entry *nearest the tail* becomes available (it was issued
+  first), then the tail sweeps forward over available entries to make
+  room — acks can complete out of order across banks.
+* **miss request** (LLC): CAM-match on the address; the matched entry
+  *nearest the head* is returned (it is the newest version, since
+  insertion is in program order).
+
+The implementation represents the ring as a deque in insertion order;
+entries freed out of order stay in place as *available holes* until the
+tail sweeps past them, exactly like the hardware head/tail pointers —
+so capacity behaviour (and therefore CPU stall behaviour) matches the
+paper's structure, not an idealized free list.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+from ..common.config import MachineConfig, TxCacheConfig
+from ..common.stats import ScopedStats
+from ..common.types import Version, line_addr
+
+
+class TxState(enum.Enum):
+    AVAILABLE = "available"
+    ACTIVE = "active"
+    COMMITTED = "committed"
+
+
+@dataclass
+class TxEntry:
+    """One TC line: tag + data (version) + transaction bookkeeping."""
+
+    seq: int                      # global insertion order (head counter)
+    tx_id: int
+    tag: int                      # cache-line address
+    version: Optional[Version]
+    state: TxState = TxState.ACTIVE
+    issued: bool = False          # write sent toward the NVM
+
+
+class TransactionCache:
+    """CAM-FIFO data array of one core's transaction cache."""
+
+    def __init__(self, config: TxCacheConfig, stats: ScopedStats,
+                 seq_source: Optional[Callable[[], int]] = None) -> None:
+        self.config = config
+        self.stats = stats
+        self.capacity = config.num_entries
+        if self.capacity < 1:
+            raise ValueError("transaction cache must hold at least one line")
+        self._ring: Deque[TxEntry] = deque()
+        self._head_seq = 0  # total insertions (head pointer position)
+        self._tail_seq = 0  # total reclamations (tail pointer position)
+        #: entry ordering clock; shareable across TCs so cross-core
+        #: probes can pick the globally newest entry
+        self._seq_source = seq_source
+
+    # ------------------------------------------------------------------
+    # occupancy
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def occupancy(self) -> int:
+        """Slots between tail and head — holes count (hardware FIFO)."""
+        return len(self._ring)
+
+    def is_full(self) -> bool:
+        return len(self._ring) >= self.capacity
+
+    def above_threshold(self) -> bool:
+        """True when the overflow fall-back should trigger (§4.1:
+        'once the TC is almost filled, e.g., 90% full')."""
+        return len(self._ring) >= self.config.overflow_threshold * self.capacity
+
+    def live_entries(self) -> List[TxEntry]:
+        """Non-available entries, oldest first."""
+        return [e for e in self._ring if e.state is not TxState.AVAILABLE]
+
+    def count_active(self, tx_id: int) -> int:
+        """Active entries belonging to one transaction."""
+        return sum(1 for e in self._ring
+                   if e.tx_id == tx_id and e.state is TxState.ACTIVE)
+
+    # ------------------------------------------------------------------
+    # the four request types (§4.1)
+    # ------------------------------------------------------------------
+    def write(self, tx_id: int, addr: int, version: Optional[Version]) -> bool:
+        """CPU write request: insert at head.  False when full.
+
+        When ``coalesce_writes`` is set (default), a write whose
+        transaction already has an *active* entry for the same line
+        updates that entry in place — a 64-bit store into an already
+        buffered 64 B line costs no new entry.  Ordering across
+        transactions is unaffected (active entries are not yet in the
+        issue stream)."""
+        if self.config.coalesce_writes:
+            tag = line_addr(addr)
+            for entry in reversed(self._ring):
+                if (entry.tx_id == tx_id and entry.tag == tag
+                        and entry.state is TxState.ACTIVE):
+                    entry.version = version
+                    self.stats.inc("write.coalesced")
+                    return True
+        if self.is_full():
+            self.stats.inc("write.rejected_full")
+            return False
+        seq = self._seq_source() if self._seq_source else self._head_seq
+        entry = TxEntry(seq=seq, tx_id=tx_id,
+                        tag=line_addr(addr), version=version)
+        self._ring.append(entry)
+        self._head_seq += 1
+        self.stats.inc("write.inserted")
+        return True
+
+    def commit(self, tx_id: int) -> List[TxEntry]:
+        """CPU commit request: CAM-match TxID, active → committed.
+
+        Returns the newly committed entries (oldest first)."""
+        committed = []
+        for entry in self._ring:
+            if entry.tx_id == tx_id and entry.state is TxState.ACTIVE:
+                entry.state = TxState.COMMITTED
+                committed.append(entry)
+        self.stats.inc("commit.requests")
+        self.stats.inc("commit.entries", len(committed))
+        return committed
+
+    def take_issuable(self, limit: Optional[int] = None) -> List[TxEntry]:
+        """Committed-and-unissued entries, in FIFO order, stopping at
+        the first active entry (writes must reach the NVM in program
+        order; an active entry belongs to a younger transaction).
+        ``limit`` caps how many are taken (issue pacing)."""
+        out = []
+        for entry in self._ring:
+            if limit is not None and len(out) >= limit:
+                break
+            if entry.state is TxState.AVAILABLE:
+                continue
+            if entry.state is TxState.ACTIVE:
+                break
+            if not entry.issued:
+                entry.issued = True
+                out.append(entry)
+        self.stats.inc("issue.entries", len(out))
+        return out
+
+    def ack(self, addr: int) -> Optional[TxEntry]:
+        """NVM acknowledgment: free the matching issued entry nearest
+        the tail, then sweep the tail over available holes."""
+        tag = line_addr(addr)
+        for entry in self._ring:  # deque iterates oldest (tail) first
+            if (entry.tag == tag and entry.issued
+                    and entry.state is TxState.COMMITTED):
+                entry.state = TxState.AVAILABLE
+                self.stats.inc("ack.matched")
+                self._sweep_tail()
+                return entry
+        self.stats.inc("ack.unmatched")
+        return None
+
+    def probe(self, addr: int) -> Optional[TxEntry]:
+        """LLC miss request: newest (nearest-head) live entry for the
+        line, or None."""
+        tag = line_addr(addr)
+        for entry in reversed(self._ring):
+            if entry.tag == tag and entry.state is not TxState.AVAILABLE:
+                self.stats.inc("probe.hit")
+                return entry
+        self.stats.inc("probe.miss")
+        return None
+
+    # ------------------------------------------------------------------
+    # overflow fall-back support
+    # ------------------------------------------------------------------
+    def drop_transaction(self, tx_id: int) -> List[TxEntry]:
+        """Free every entry of a (still-active) transaction — used when
+        the overflow fall-back rewrites the transaction as a
+        hardware-controlled copy-on-write (§4.1).  Returns the dropped
+        entries in FIFO order."""
+        dropped = []
+        for entry in self._ring:
+            if entry.tx_id == tx_id and entry.state is TxState.ACTIVE:
+                entry.state = TxState.AVAILABLE
+                dropped.append(entry)
+        self._sweep_tail()
+        self.stats.inc("overflow.dropped_entries", len(dropped))
+        return dropped
+
+    # ------------------------------------------------------------------
+    def _sweep_tail(self) -> None:
+        while self._ring and self._ring[0].state is TxState.AVAILABLE:
+            self._ring.popleft()
+            self._tail_seq += 1
+
+    @property
+    def head_seq(self) -> int:
+        return self._head_seq
+
+    @property
+    def tail_seq(self) -> int:
+        return self._tail_seq
+
+    # ------------------------------------------------------------------
+    # recovery view
+    # ------------------------------------------------------------------
+    def committed_unacked(self) -> List[TxEntry]:
+        """Entries that survived a crash and must be replayed: the TC
+        array is nonvolatile, so committed entries whose ack had not
+        arrived are recovered in FIFO order (§3, Multiversioning)."""
+        return [e for e in self._ring if e.state is TxState.COMMITTED]
+
+    def active_entries(self) -> List[TxEntry]:
+        """Uncommitted entries — discarded by recovery."""
+        return [e for e in self._ring if e.state is TxState.ACTIVE]
+
+
+def hardware_overhead(config: MachineConfig) -> Dict[str, Dict[str, str]]:
+    """Reproduce the paper's Table 1 (hardware overhead summary).
+
+    With a 4 KB TC and 64 B lines there are at most 64 in-flight
+    transactions per core (one line per transaction), so the TxID
+    fields need log2(64) = 6 bits; the per-line state and P/V flags
+    are 1 bit each.
+    """
+    entries = config.txcache.num_entries
+    txid_bits = max(1, math.ceil(math.log2(max(2, entries))))
+    line_bits = config.txcache.line_size * 8
+    return {
+        "CPU TxID/Mode register": {
+            "type": "flip-flops", "size": f"{txid_bits} bits"},
+        "CPU Next TxID register": {
+            "type": "flip-flops", "size": f"{txid_bits} bits"},
+        "Cache P/V flag": {
+            "type": "SRAM", "size": "1 bit"},
+        "TxID in TC data array": {
+            "type": "STTRAM", "size": f"{txid_bits} bits"},
+        "State in TC data array": {
+            "type": "STTRAM", "size": "1 bit"},
+        "TC head/tail pointer": {
+            "type": "flip-flops",
+            "size": f"{max(1, math.ceil(math.log2(max(2, entries))))} bits each"},
+        "TC data array": {
+            "type": "STTRAM",
+            "size": (f"{config.txcache.size_bytes // 1024} KB/core "
+                     f"({entries} lines x {line_bits} bits)")},
+    }
+
+
+def overhead_summary_bits(config: MachineConfig) -> Dict[str, int]:
+    """Numeric totals behind Table 1's prose (§4.4)."""
+    entries = config.txcache.num_entries
+    txid_bits = max(1, math.ceil(math.log2(max(2, entries))))
+    return {
+        "txid_bits": txid_bits,
+        "per_tc_line_extra_bits": txid_bits + 1,        # TxID + state
+        "per_cache_line_extra_bits": 1,                 # P/V flag
+        "tc_total_bytes_per_core": config.txcache.size_bytes,
+        "tc_total_bytes_machine": config.txcache.size_bytes * config.num_cores,
+    }

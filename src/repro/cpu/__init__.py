@@ -1,0 +1,6 @@
+"""CPU layer: trace ISA, trace containers, and the core timing model."""
+
+from .core import Core
+from .trace import OpType, Trace, TraceBuilder, TraceOp
+
+__all__ = ["Core", "OpType", "Trace", "TraceBuilder", "TraceOp"]

@@ -1,0 +1,225 @@
+"""Trace-driven CPU core timing model.
+
+Approximates the paper's 4-issue out-of-order core (simulated there
+with MARSSx86/PTLsim) with the stall structure that actually drives the
+paper's results:
+
+* COMPUTE retires ``issue_width`` instructions per cycle;
+* LOADs block the dependent instruction stream — an out-of-order
+  window of ``hide_cycles`` is credited against *synchronously known*
+  latencies (cache hits), while memory misses stall for their full
+  duration (a 130+-cycle NVM miss cannot hide in a 16-cycle window);
+* STOREs retire into a finite store buffer and only stall the core
+  when the buffer is full — or when the persistence scheme itself
+  back-pressures the issue (e.g. a full transaction cache, §4.1);
+* TX_BEGIN / TX_END maintain the mode and TxID registers of the
+  paper's Fig. 5 and delegate commit work to the scheme (SP fences,
+  Kiln commit flushes, TC commit messages).
+
+The core owns per-core stall statistics; IPC and throughput are
+computed by the runner from ``instructions_retired`` /
+``committed_transactions`` and the final ``cycle``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..common.config import CoreConfig
+from ..common.event import Simulator
+from ..common.stats import ScopedStats
+from ..cpu.trace import OpType, Trace, TraceOp
+from ..persistence.base import PersistenceScheme
+
+
+class Core:
+    """One CPU core executing a prepared trace under a scheme."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_id: int,
+        config: CoreConfig,
+        stats: ScopedStats,
+        scheme: PersistenceScheme,
+    ) -> None:
+        self.sim = sim
+        self.core_id = core_id
+        self.config = config
+        self.stats = stats
+        self.scheme = scheme
+        # architectural registers of the paper's Fig. 5
+        self.mode_tx: Optional[int] = None   # TxID/Mode register (None = normal)
+        self.next_tx_id: int = 1             # Next TxID register
+        # execution state
+        self.cycle = 0
+        self._ops: List[TraceOp] = []
+        self._ip = 0
+        self._on_done: Optional[Callable[[], None]] = None
+        self._sb_tokens = config.store_buffer_entries
+        self._sb_waiting = False
+        self.done = False
+        # headline metrics
+        self.instructions_retired = 0
+        self.committed_transactions = 0
+
+    # ------------------------------------------------------------------
+    def run_trace(self, trace: Trace, on_done: Optional[Callable[[], None]] = None) -> None:
+        """Begin executing ``trace`` (already scheme-prepared)."""
+        self._ops = trace.ops
+        self._ip = 0
+        self._on_done = on_done
+        self.done = False
+        self.sim.schedule_at(max(self.cycle, self.sim.now), self._step)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.mode_tx is not None
+
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        """Retire ops until one needs the event system, then yield."""
+        ops = self._ops
+        while self._ip < len(ops):
+            op = ops[self._ip]
+            if op.op is OpType.COMPUTE:
+                issue = self.config.issue_width
+                self.cycle += (op.count + issue - 1) // issue
+                self.instructions_retired += op.count
+                self._ip += 1
+                continue
+            # every other op interacts with timing components: align the
+            # kernel clock with the core clock first.
+            if self.cycle > self.sim.now:
+                self.sim.schedule_at(self.cycle, self._step)
+                return
+            self.cycle = self.sim.now
+            self._dispatch(op)
+            return
+        self.done = True
+        self.stats.inc("finished", 1)
+        if self._on_done is not None:
+            self._on_done()
+
+    def _advance(self) -> None:
+        """Move past the current op and continue execution."""
+        self._ip += 1
+        self._step()
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, op: TraceOp) -> None:
+        handler = {
+            OpType.LOAD: self._do_load,
+            OpType.STORE: self._do_store,
+            OpType.TX_BEGIN: self._do_tx_begin,
+            OpType.TX_END: self._do_tx_end,
+            OpType.CLWB: self._do_clwb,
+            OpType.SFENCE: self._do_sfence,
+        }[op.op]
+        handler(op)
+
+    # -- loads ---------------------------------------------------------
+    def _do_load(self, op: TraceOp) -> None:
+        issued = self.cycle
+
+        def complete(latency: int, version) -> None:
+            if self.sim.now == issued:
+                # Synchronous (cache hit): the OoO window hides part of it.
+                cost = max(1, latency - self.config.hide_cycles)
+                self.cycle = issued + cost
+            else:
+                # Memory miss: resumed by the fill event.
+                self.cycle = max(self.sim.now, issued + 1)
+            stall = self.cycle - issued - 1
+            if stall > 0:
+                self.stats.inc("stall.load", stall)
+            self.stats.sample("load.latency", latency)
+            if op.persistent:
+                self.stats.sample("persist_load.latency", latency)
+            self.instructions_retired += 1
+            self._advance()
+
+        self.scheme.load(self, op, complete)
+
+    # -- stores ----------------------------------------------------------
+    def _do_store(self, op: TraceOp) -> None:
+        if self._sb_tokens == 0:
+            # Store buffer full: retry when a store retires.
+            self._sb_waiting = True
+            self.stats.inc("stall.store_buffer.events")
+            return
+        self._sb_tokens -= 1
+        issued = self.cycle
+
+        def on_issue(latency: int) -> None:
+            if self.sim.now == issued:
+                self.cycle = issued + max(1, latency)
+            else:
+                self.cycle = max(self.sim.now, issued + 1)
+                self.stats.inc("stall.store_issue", self.cycle - issued - 1)
+            self.instructions_retired += 1
+            self._advance()
+
+        self.scheme.store(self, op, on_issue, self._store_retired)
+
+    def _store_retired(self, _latency: int) -> None:
+        self._sb_tokens += 1
+        if self._sb_waiting:
+            self._sb_waiting = False
+            resume_at = max(self.cycle, self.sim.now)
+            self.stats.inc("stall.store_buffer", resume_at - self.cycle)
+            self.cycle = resume_at
+            self.sim.schedule_at(resume_at, self._step)
+
+    # -- transactions ----------------------------------------------------
+    def _do_tx_begin(self, op: TraceOp) -> None:
+        issued = self.cycle
+        # TX_BEGIN: copy next TxID into the mode register, bump it (§4.2).
+        self.mode_tx = op.tx_id
+        self.next_tx_id = (op.tx_id or 0) + 1
+
+        def resume() -> None:
+            self.cycle = max(self.sim.now, issued + 1)
+            self.instructions_retired += 1
+            self._advance()
+
+        self.scheme.tx_begin(self, op, resume)
+
+    def _do_tx_end(self, op: TraceOp) -> None:
+        issued = self.cycle
+
+        def resume() -> None:
+            self.cycle = max(self.sim.now, issued + 1)
+            stall = self.cycle - issued - 1
+            if stall > 0:
+                self.stats.inc("stall.commit", stall)
+            self.mode_tx = None
+            self.committed_transactions += 1
+            self.instructions_retired += 1
+            self._advance()
+
+        self.scheme.tx_end(self, op, resume)
+
+    # -- SP instrumentation ops -------------------------------------------
+    def _do_clwb(self, op: TraceOp) -> None:
+        issued = self.cycle
+
+        def resume() -> None:
+            self.cycle = max(self.sim.now, issued + 1)
+            self.instructions_retired += 1
+            self._advance()
+
+        self.scheme.clwb(self, op, resume)
+
+    def _do_sfence(self, op: TraceOp) -> None:
+        issued = self.cycle
+
+        def resume() -> None:
+            self.cycle = max(self.sim.now, issued + 1)
+            stall = self.cycle - issued - 1
+            if stall > 0:
+                self.stats.inc("stall.fence", stall)
+            self.instructions_retired += 1
+            self._advance()
+
+        self.scheme.sfence(self, op, resume)

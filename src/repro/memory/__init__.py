@@ -1,0 +1,13 @@
+"""Hybrid DRAM/NVM memory system: banks, queues, controllers, durable image."""
+
+from .bank import Bank, BankArray
+from .controller import DurableImage, MemoryController
+from .queues import RequestQueue
+
+__all__ = [
+    "Bank",
+    "BankArray",
+    "DurableImage",
+    "MemoryController",
+    "RequestQueue",
+]

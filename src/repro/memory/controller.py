@@ -1,0 +1,268 @@
+"""Event-driven memory controller (one per memory space).
+
+Implements the policy the paper inherits from DRAMSim2 (Table 2):
+
+* separate read and write queues (8 / 64 entries),
+* **read-first** scheduling — reads have priority over writes,
+* **write drain** — when the write queue reaches 80 % occupancy the
+  controller switches to draining writes until occupancy falls below a
+  low watermark,
+* per-bank row-buffer timing via :class:`~repro.memory.bank.BankArray`,
+* FR-FCFS arbitration inside each queue (row hits first, then oldest),
+  with the guarantee that same-line requests are never reordered (the
+  paper requires conflicting persistent writes to reach the NVM in
+  program order — same line implies same bank and row, so FIFO scan
+  order preserves it),
+* read forwarding from the write queue (a read that matches a pending
+  write is served from the queue entry, not the array),
+* an **acknowledgment path**: after a persistent write is written into
+  the array, the controller invokes ``ack_handler`` — this is the
+  message the transaction cache drains on (paper §3/§4.3).
+
+Writes into the NVM are additionally recorded into a
+:class:`DurableImage` timeline so crash points can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..common.config import MemCtrlConfig
+from ..common.event import Simulator
+from ..common.stats import ScopedStats
+from ..common.types import MemReqType, MemRequest, Version
+
+AckHandler = Callable[[MemRequest, int], None]
+
+
+class DurableImage:
+    """Timeline of versions that have physically reached the memory.
+
+    ``record`` is called by the controller at the cycle each write
+    completes in the array.  ``state_at(cycle)`` replays the timeline
+    up to an arbitrary crash point, yielding exactly the line→version
+    map a post-crash recovery procedure would find in the NVM.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[Tuple[int, int, int, Optional[Version]]] = []
+        self._seq = 0
+        self._current: Dict[int, Optional[Version]] = {}
+
+    def record(self, cycle: int, line: int, version: Optional[Version]) -> None:
+        self._events.append((cycle, self._seq, line, version))
+        self._seq += 1
+        self._current[line] = version
+
+    def state_at(self, cycle: int) -> Dict[int, Optional[Version]]:
+        """Line→version map as of ``cycle`` (inclusive)."""
+        state: Dict[int, Optional[Version]] = {}
+        for event_cycle, _seq, line, version in self._events:
+            if event_cycle > cycle:
+                break
+            state[line] = version
+        return state
+
+    def final_state(self) -> Dict[int, Optional[Version]]:
+        return dict(self._current)
+
+    def current(self, line: int) -> Optional[Version]:
+        """The version durably in the array right now (O(1))."""
+        return self._current.get(line)
+
+    @property
+    def events(self) -> List[Tuple[int, int, int, Optional[Version]]]:
+        return list(self._events)
+
+    @property
+    def last_cycle(self) -> int:
+        return self._events[-1][0] if self._events else 0
+
+
+class MemoryController:
+    """One memory channel: queues, scheduler, banks, ack path."""
+
+    #: extra cycles for serving a read out of the write queue
+    FORWARD_LATENCY = 4
+    #: anti-starvation: a write is serviced ahead of reads if none was
+    #: serviced in this many cycles (read-first must not let a steady
+    #: read stream starve the write queue — acknowledgments would stop)
+    WRITE_STARVATION_LIMIT = 250
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MemCtrlConfig,
+        stats: ScopedStats,
+        freq_ghz: float,
+        durable_image: Optional[DurableImage] = None,
+        ack_handler: Optional[AckHandler] = None,
+    ) -> None:
+        from .bank import BankArray
+        from .queues import RequestQueue
+
+        self.sim = sim
+        self.config = config
+        self.stats = stats
+        self.freq_ghz = freq_ghz
+        self.durable_image = durable_image
+        self.ack_handler = ack_handler
+        self.banks = BankArray(config, freq_ghz=freq_ghz)
+        self.read_queue = RequestQueue(f"{config.name}.rq", config.read_queue_entries)
+        self.write_queue = RequestQueue(f"{config.name}.wq", config.write_queue_entries)
+        self._drain_mode = False
+        self._tick_at: Optional[int] = None
+        self._inflight = 0
+        self._last_write_service = 0
+
+    # ------------------------------------------------------------------
+    # external interface
+    # ------------------------------------------------------------------
+    def enqueue(self, request: MemRequest) -> None:
+        """Accept a line-granular request; completion is signalled via
+        ``request.callback(request, cycle)``."""
+        request.issue_cycle = self.sim.now
+        if request.is_write:
+            self.stats.inc("write.requests")
+            self.stats.inc("write.lines")
+            self.write_queue.push(request)
+        else:
+            self.stats.inc("read.requests")
+            pending_write = self.write_queue.find_line(request.line)
+            if pending_write is not None:
+                # Serve the read from the queued write (newest data).
+                self.stats.inc("read.forwarded")
+                request.meta["forwarded"] = True
+                self.sim.schedule(self.FORWARD_LATENCY, self._finish_read, request)
+                return
+            self.read_queue.push(request)
+        self._kick(self.sim.now + 1)
+
+    def busy(self) -> bool:
+        """True while any request is queued or in the banks."""
+        return (
+            not self.read_queue.is_empty()
+            or not self.write_queue.is_empty()
+            or self._inflight > 0
+        )
+
+    # ------------------------------------------------------------------
+    # scheduler
+    # ------------------------------------------------------------------
+    def _kick(self, at_time: int) -> None:
+        """Ensure a scheduler tick is pending no later than ``at_time``."""
+        at_time = max(at_time, self.sim.now)
+        if self._tick_at is not None and self._tick_at <= at_time:
+            return
+        self._tick_at = at_time
+        self.sim.schedule_at(at_time, self._tick, at_time)
+
+    def _tick(self, scheduled_for: int) -> None:
+        if self._tick_at != scheduled_for:
+            return  # superseded by an earlier kick
+        self._tick_at = None
+        self._update_drain_mode()
+        request = self._pick_request()
+        if request is None:
+            if not self.read_queue.is_empty() or not self.write_queue.is_empty():
+                # All candidate banks are busy; retry when one frees up.
+                self._kick(max(self.banks.earliest_available(), self.sim.now + 1))
+            return
+        self._service(request)
+        if not self.read_queue.is_empty() or not self.write_queue.is_empty():
+            self._kick(self.sim.now + self.config.scheduler_period_cycles)
+
+    def _update_drain_mode(self) -> None:
+        high = self.config.write_drain_threshold
+        low = high / 2
+        if not self._drain_mode and self.write_queue.occupancy >= high:
+            self._drain_mode = True
+            self.stats.inc("write.drain_entries")
+        elif self._drain_mode and self.write_queue.occupancy <= low:
+            self._drain_mode = False
+
+    def _pick_request(self) -> Optional[MemRequest]:
+        """FR-FCFS over the priority-ordered queues."""
+        now = self.sim.now
+        starved = (not self.write_queue.is_empty()
+                   and now - self._last_write_service
+                   > self.WRITE_STARVATION_LIMIT)
+        if self._drain_mode or starved:
+            if starved and not self._drain_mode:
+                self.stats.inc("write.starvation_grants")
+            queues = (self.write_queue, self.read_queue)
+        else:
+            queues = (self.read_queue, self.write_queue)
+        for queue in queues:
+            chosen = self._scan(queue, now)
+            if chosen is not None:
+                queue.pop(chosen)
+                if chosen.is_write:
+                    self._last_write_service = now
+                return chosen
+        return None
+
+    def _scan(self, queue, now: int) -> Optional[MemRequest]:
+        """First row-hit whose bank is free; else first bank-free entry.
+
+        A row-hit entry is skipped if an *older* request to the same
+        line exists earlier in the queue — same-line order is preserved
+        unconditionally."""
+        fallback: Optional[MemRequest] = None
+        seen_lines = set()
+        for request in queue:
+            if request.line in seen_lines:
+                continue
+            seen_lines.add(request.line)
+            bank = self.banks.bank_for(request.line)
+            if not bank.available(now):
+                continue
+            if self.banks.is_row_hit(request.line):
+                return request
+            if fallback is None:
+                fallback = request
+        return fallback
+
+    def _service(self, request: MemRequest) -> None:
+        now = self.sim.now
+        bank, row = self.banks.map_address(request.line)
+        timing = self.config.timing
+        if request.is_write:
+            hit_cycles = timing.write_cycles(self.freq_ghz, row_hit=True)
+            miss_cycles = timing.write_cycles(self.freq_ghz, row_hit=False)
+        else:
+            hit_cycles = timing.read_cycles(self.freq_ghz, row_hit=True)
+            miss_cycles = timing.read_cycles(self.freq_ghz, row_hit=False)
+        done = self.banks.banks[bank].access(row, now, hit_cycles, miss_cycles)
+        self._inflight += 1
+        if request.is_write:
+            self.sim.schedule_at(done, self._finish_write, request)
+        else:
+            self.sim.schedule_at(done, self._finish_read, request)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def _finish_read(self, request: MemRequest) -> None:
+        now = self.sim.now
+        self.stats.hist("read.latency", now - request.issue_cycle)
+        if not request.meta.get("forwarded"):
+            self._inflight -= 1
+        if request.callback is not None:
+            request.callback(request, now)
+        self._kick(now + 1)
+
+    def _finish_write(self, request: MemRequest) -> None:
+        now = self.sim.now
+        self.stats.hist("write.latency", now - request.issue_cycle)
+        self._inflight -= 1
+        if self.durable_image is not None:
+            self.durable_image.record(now, request.line, request.version)
+        if request.callback is not None:
+            request.callback(request, now)
+        if request.persistent and self.ack_handler is not None:
+            self.stats.inc("write.acks")
+            self.ack_handler(request, now)
+        self._kick(now + 1)

@@ -1,0 +1,91 @@
+"""Bounded request queues for memory controllers.
+
+The controller owns one :class:`RequestQueue` for reads and one for
+writes (paper: 8 / 64 entries).  A queue that is full does not reject
+work; incoming requests wait in an unbounded *backlog* and are admitted
+in order as entries free up.  This models the back-pressure latency a
+full queue imposes without forcing every requester to implement retry
+loops, and the time spent in the backlog is visible in the request's
+total latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Iterator, List, Optional
+
+from ..common.types import MemRequest
+
+
+class RequestQueue:
+    """FIFO with a hard capacity and an overflow backlog."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"{name}: capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._entries: Deque[MemRequest] = deque()
+        self._backlog: Deque[MemRequest] = deque()
+        self.peak_occupancy = 0
+        self.total_admitted = 0
+        self.total_backlogged = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[MemRequest]:
+        return iter(self._entries)
+
+    @property
+    def backlog_depth(self) -> int:
+        return len(self._backlog)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the hard capacity in use."""
+        return len(self._entries) / self.capacity
+
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def is_empty(self) -> bool:
+        return not self._entries and not self._backlog
+
+    def push(self, request: MemRequest) -> bool:
+        """Add a request.  Returns True if admitted directly, False if
+        it had to wait in the backlog."""
+        if self.is_full():
+            self._backlog.append(request)
+            self.total_backlogged += 1
+            return False
+        self._admit(request)
+        return True
+
+    def _admit(self, request: MemRequest) -> None:
+        self._entries.append(request)
+        self.total_admitted += 1
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+
+    def pop(self, request: MemRequest) -> None:
+        """Remove a specific (scheduled) request, then admit backlog."""
+        self._entries.remove(request)
+        while self._backlog and not self.is_full():
+            self._admit(self._backlog.popleft())
+
+    def find_line(self, line: int) -> Optional[MemRequest]:
+        """Oldest queued request for ``line`` (backlog included)."""
+        for request in self._entries:
+            if request.line == line:
+                return request
+        for request in self._backlog:
+            if request.line == line:
+                return request
+        return None
+
+    def find_all_line(self, line: int) -> List[MemRequest]:
+        """All queued requests for ``line``, oldest first."""
+        hits = [r for r in self._entries if r.line == line]
+        hits.extend(r for r in self._backlog if r.line == line)
+        return hits

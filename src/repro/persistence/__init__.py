@@ -1,0 +1,40 @@
+"""The four persistence mechanisms compared in the paper (§5.1)."""
+
+from typing import Union
+
+from ..common.types import SchemeName
+from .base import OptimalScheme, PersistenceScheme
+from .kiln import KilnScheme
+from .software import SoftwareScheme
+from .txcache_scheme import TxCacheScheme
+
+_SCHEMES = {
+    SchemeName.OPTIMAL: OptimalScheme,
+    SchemeName.SP: SoftwareScheme,
+    SchemeName.KILN: KilnScheme,
+    SchemeName.TXCACHE: TxCacheScheme,
+}
+
+
+def create_scheme(
+    name: Union[str, SchemeName],
+    sim,
+    config,
+    stats,
+    hierarchy,
+    memory,
+) -> PersistenceScheme:
+    """Instantiate a persistence scheme by name, wiring its hierarchy
+    and memory-system hooks."""
+    cls = _SCHEMES[SchemeName.parse(name)]
+    return cls(sim, config, stats, hierarchy, memory)
+
+
+__all__ = [
+    "KilnScheme",
+    "OptimalScheme",
+    "PersistenceScheme",
+    "SoftwareScheme",
+    "TxCacheScheme",
+    "create_scheme",
+]

@@ -1,0 +1,226 @@
+"""SP — software-supported persistence (write-ahead logging baseline).
+
+The paper's SP baseline (§5.1) "supports write-ahead logging and
+ensures the write ordering through software instructions" — the
+``log()`` calls, ``clwb`` flushes and fences of Fig. 2(b)/3(a).
+
+:meth:`SoftwareScheme.prepare_trace` rewrites each transaction into the
+undo-log protocol a library like Mnemosyne/NV-heaps executes:
+
+1. for every persistent store, construct a log entry (a few ALU
+   instructions), store it to the per-core log region, and ``clwb`` it;
+2. ``sfence`` — the undo log is durable before any in-place write;
+3. the original transaction body (in-place writes, cached);
+4. ``clwb`` every written data line and ``sfence`` — data durable;
+5. store + ``clwb`` + ``sfence`` a per-transaction commit record — the
+   atomicity point.
+
+Recovery: transactions whose commit record is durable are complete
+(their data was flushed before the record); all others are rolled back
+from the undo log — any of their in-place writes that reached the NVM
+are restored to the pre-transaction value.
+
+This is where the paper's SP costs come from: roughly 2x NVM write
+traffic (log + data + record) and serialized flush/fence stalls on the
+critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..common.types import (
+    HOME_REGION_LIMIT,
+    SchemeName,
+    Version,
+    is_home_line,
+    is_persistent_addr,
+    line_addr,
+)
+from ..cpu.trace import OpType, Trace, TraceOp
+from .base import PersistenceScheme, Resume
+
+#: per-core undo-log regions (scheme metadata: above the home region)
+SP_LOG_BASE = HOME_REGION_LIMIT
+SP_LOG_STRIDE = 1 << 30          # per-core log spacing
+SP_LOG_WRAP = 1 << 20            # circular log size per core
+#: commit records, one line per transaction
+SP_RECORD_BASE = HOME_REGION_LIMIT + (1 << 35)
+
+#: ALU instructions charged per log() call (address/value marshalling)
+LOG_COMPUTE_COST = 2
+#: sequence-number space for injected log stores (disjoint from app stores)
+_LOG_SEQ_BASE = 1 << 20
+
+
+def sp_record_addr(tx_id: int) -> int:
+    return SP_RECORD_BASE + tx_id * 64
+
+
+def tx_of_record_line(line: int) -> Optional[int]:
+    if line < SP_RECORD_BASE:
+        return None
+    return (line - SP_RECORD_BASE) // 64
+
+
+class SoftwareScheme(PersistenceScheme):
+    """SP: write-ahead logging + clwb/sfence ordering in software."""
+
+    name = SchemeName.SP
+
+    def __init__(self, sim, config, stats, hierarchy, memory) -> None:
+        super().__init__(sim, config, stats, hierarchy, memory)
+        self._log_cursor: Dict[int, int] = {}   # per-trace log allocation
+        self._next_log_region = 0
+        # outstanding clwb writebacks per core, and fence waiters
+        self._outstanding: Dict[int, int] = {}
+        self._fence_waiters: Dict[int, List[Resume]] = {}
+        # recovery bookkeeping, filled during prepare_trace
+        self._tx_writes: Dict[int, Dict[int, Version]] = {}
+        self._tx_undo: Dict[int, Dict[int, Optional[Version]]] = {}
+        self._tx_order: List[int] = []
+        # commit-record durability, observed at runtime
+        self.record_durable: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # trace instrumentation (the 'software instructions' of Fig. 2b)
+    # ------------------------------------------------------------------
+    def prepare_trace(self, trace: Trace) -> Trace:
+        region = self._next_log_region
+        self._next_log_region += 1
+        log_base = SP_LOG_BASE + region * SP_LOG_STRIDE
+        log_cursor = 0
+        current_version: Dict[int, Optional[Version]] = {}
+        out = Trace(name=f"{trace.name}+sp")
+        pending_tx: Optional[List[TraceOp]] = None
+        open_tx: Optional[int] = None
+
+        def emit_tx(tx_id: int, body: List[TraceOp]) -> None:
+            nonlocal log_cursor
+            stores = [op for op in body
+                      if op.op is OpType.STORE and op.persistent]
+            undo: Dict[int, Optional[Version]] = {}
+            writes: Dict[int, Version] = {}
+            out.ops.append(TraceOp(OpType.TX_BEGIN, tx_id=tx_id))
+            # 1. build + persist the undo log.  Each log record is
+            # 16 B (address + 64-bit old value), packed four per line;
+            # one clwb per touched log line.
+            touched_log_lines: Dict[int, None] = {}
+            for index, store in enumerate(stores):
+                data_line = line_addr(store.addr)
+                if data_line not in undo:
+                    undo[data_line] = current_version.get(data_line)
+                writes[data_line] = store.version
+                log_entry = log_base + (log_cursor % SP_LOG_WRAP)
+                log_cursor += 16
+                out.ops.append(TraceOp(OpType.COMPUTE, count=LOG_COMPUTE_COST))
+                out.ops.append(TraceOp(
+                    OpType.STORE, addr=log_entry, tx_id=tx_id,
+                    version=Version(tx_id, _LOG_SEQ_BASE + index)))
+                touched_log_lines[line_addr(log_entry)] = None
+            for log_line in touched_log_lines:
+                out.ops.append(TraceOp(OpType.CLWB, addr=log_line, tx_id=tx_id))
+            if stores:
+                out.ops.append(TraceOp(OpType.SFENCE, tx_id=tx_id))
+            # 2. original body
+            out.ops.extend(body)
+            # 3. force data home, then the commit record
+            if stores:
+                for data_line in writes:
+                    out.ops.append(TraceOp(OpType.CLWB, addr=data_line,
+                                           tx_id=tx_id))
+                out.ops.append(TraceOp(OpType.SFENCE, tx_id=tx_id))
+                record = sp_record_addr(tx_id)
+                out.ops.append(TraceOp(
+                    OpType.STORE, addr=record, tx_id=tx_id,
+                    version=Version(tx_id, -1)))
+                out.ops.append(TraceOp(OpType.CLWB, addr=record, tx_id=tx_id))
+                out.ops.append(TraceOp(OpType.SFENCE, tx_id=tx_id))
+            out.ops.append(TraceOp(OpType.TX_END, tx_id=tx_id))
+            for data_line, version in writes.items():
+                current_version[data_line] = version
+            self._tx_writes[tx_id] = writes
+            self._tx_undo[tx_id] = undo
+            self._tx_order.append(tx_id)
+
+        for op in trace.ops:
+            if op.op is OpType.TX_BEGIN:
+                open_tx = op.tx_id
+                pending_tx = []
+            elif op.op is OpType.TX_END:
+                emit_tx(open_tx, pending_tx)
+                open_tx = None
+                pending_tx = None
+            elif pending_tx is not None:
+                pending_tx.append(op)
+            else:
+                if op.op is OpType.STORE and op.persistent:
+                    current_version[line_addr(op.addr)] = op.version
+                out.ops.append(op)
+        out.validate()
+        return out
+
+    # ------------------------------------------------------------------
+    # runtime: clwb / sfence
+    # ------------------------------------------------------------------
+    def clwb(self, core, op, resume: Resume) -> None:
+        core_id = core.core_id
+        self._outstanding[core_id] = self._outstanding.get(core_id, 0) + 1
+        line = line_addr(op.addr)
+
+        def written_back(cycle: int) -> None:
+            tx_id = tx_of_record_line(line)
+            if tx_id is not None and tx_id not in self.record_durable:
+                self.record_durable[tx_id] = cycle
+                self.committed_tx.add(tx_id)
+            self._outstanding[core_id] -= 1
+            if self._outstanding[core_id] == 0:
+                waiters = self._fence_waiters.pop(core_id, [])
+                for waiter in waiters:
+                    waiter()
+
+        self.hierarchy.writeback_line(core_id, line, written_back)
+        resume()  # clwb itself is asynchronous; sfence orders it
+
+    def sfence(self, core, op, resume: Resume) -> None:
+        if self._outstanding.get(core.core_id, 0) == 0:
+            resume()
+            return
+        self.stats.inc("fence_waits")
+        self._fence_waiters.setdefault(core.core_id, []).append(resume)
+
+    def tx_end(self, core, op, resume: Resume) -> None:
+        # durability was established by the preceding record clwb+sfence
+        resume()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def busy(self) -> bool:
+        return any(count for count in self._outstanding.values())
+
+    def durably_committed(self, crash_cycle: int) -> set:
+        return {tx for tx, cycle in self.record_durable.items()
+                if cycle <= crash_cycle}
+
+    def durable_lines(self, crash_cycle: int) -> Dict[int, Optional[Version]]:
+        """Undo-log recovery: roll back every in-place write of an
+        uncommitted transaction that reached the NVM."""
+        committed = self.durably_committed(crash_cycle)
+        recovered = {
+            line: version
+            for line, version in self.memory.durable_state_at(crash_cycle).items()
+            if is_home_line(line)
+        }
+        for tx_id in reversed(self._tx_order):
+            if tx_id in committed:
+                continue
+            undo = self._tx_undo.get(tx_id, {})
+            for data_line, old_version in undo.items():
+                found = recovered.get(data_line)
+                if found is not None and found.tx_id == tx_id:
+                    if old_version is None:
+                        recovered.pop(data_line, None)
+                    else:
+                        recovered[data_line] = old_version
+        return recovered

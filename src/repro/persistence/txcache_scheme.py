@@ -1,0 +1,211 @@
+"""The paper's scheme: persistence via the transaction-cache accelerator.
+
+Wiring (paper §3, "Persistent Memory Accelerator Working Flow"):
+
+* In transaction mode, every persistent store goes to **both** the L1
+  (tagged with the P/V flag, so the hierarchy can later drop it) and
+  the core's transaction cache — non-blocking, unless the TC is full,
+  in which case the CPU stalls until an NVM acknowledgment frees room.
+* ``TX_END`` sends a commit request to the TC; the core continues
+  immediately (commit work happens on the side data path).
+* Dirty persistent LLC victims are **dropped** — the NVM only ever
+  receives the consistent, ordered stream issued by the TC.
+* LLC misses on persistent lines probe the TCs for the newest version.
+* A transaction that would overflow the TC (≥ 90 % occupancy) falls
+  back to hardware-controlled copy-on-write
+  (:mod:`repro.core.overflow`).
+
+Recovery: committed-but-unacked entries in the (nonvolatile) TCs are
+replayed onto the NVM image; active entries are discarded; fallback
+transactions apply iff their commit record is durable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..common.types import SchemeName, Version, is_home_line, line_addr
+from ..core.accelerator import PersistentMemoryAccelerator
+from ..core.overflow import OverflowManager
+from .base import PersistenceScheme, Resume, StoreIssue, StoreRetire
+
+
+class TxCacheScheme(PersistenceScheme):
+    """Persistent memory accelerator (the paper's 'TC' mechanism)."""
+
+    name = SchemeName.TXCACHE
+
+    def __init__(self, sim, config, stats, hierarchy, memory) -> None:
+        super().__init__(sim, config, stats, hierarchy, memory)
+        self.accelerator = PersistentMemoryAccelerator(sim, config, stats, memory)
+        self.overflow = OverflowManager(sim, memory, stats.scoped("tc.overflow"))
+        hierarchy.drop_persistent_evictions = True
+        hierarchy.llc_probe = self._probe
+        #: commit-request arrival cycle per transaction (the durability
+        #: point: the TC array is nonvolatile)
+        self.commit_cycle: Dict[int, int] = {}
+        #: home lines written per transaction, for ordered recovery
+        self._tx_writes: Dict[int, Dict[int, Version]] = {}
+
+    # ------------------------------------------------------------------
+    # LLC miss probe
+    # ------------------------------------------------------------------
+    def _probe(self, line: int) -> Optional[Tuple[int, Optional[Version]]]:
+        hit = self.accelerator.llc_probe(line)
+        if hit is not None:
+            return hit
+        # Copy-on-write path: data diverted to the shadow region is not
+        # in any TC; serve the newest shadow value so the program always
+        # observes its own writes.
+        newest: Optional[Version] = None
+        for state in self.overflow.fallback.values():
+            version = state.writes.get(line)
+            if version is not None and (newest is None or
+                                        (version.seq, version.tx_id or 0)
+                                        > (newest.seq, newest.tx_id or 0)):
+                newest = version
+        if newest is not None:
+            return self.accelerator.latency, newest
+        return None
+
+    # ------------------------------------------------------------------
+    # execution hooks
+    # ------------------------------------------------------------------
+    def store(self, core, op, on_issue: StoreIssue,
+              on_retire: StoreRetire) -> None:
+        in_tx_persistent = core.in_transaction and op.persistent
+        # The L1 write happens in every mode; only transaction-mode
+        # persistent stores carry the P/V flag (paper §4.2).
+        self.hierarchy.store(
+            core.core_id, op.addr, op.version,
+            persistent=in_tx_persistent, tx_id=op.tx_id,
+            on_complete=on_retire,
+        )
+        if not in_tx_persistent:
+            on_issue(1)
+            return
+        tx_id = core.mode_tx
+        self._tx_writes.setdefault(tx_id, {})[line_addr(op.addr)] = op.version
+        if self.overflow.active_fallback_for(core.core_id) == tx_id:
+            self.overflow.write(core.core_id, tx_id, op.addr, op.version)
+            on_issue(1)
+            return
+        if self._should_fall_back(core.core_id, tx_id):
+            self._divert(core.core_id, tx_id)
+            self.overflow.write(core.core_id, tx_id, op.addr, op.version)
+            on_issue(1)
+            return
+        self._tc_write(core, tx_id, op, on_issue)
+
+    def _should_fall_back(self, core_id: int, tx_id: int) -> bool:
+        """Fall back to copy-on-write only for the case the paper built
+        it for: a *transaction* about to exceed the TC capacity (§4.1).
+        Occupancy from committed entries awaiting acknowledgments is
+        ordinary back-pressure and is handled by stalling instead."""
+        if not self.accelerator.near_overflow(core_id):
+            return False
+        tc = self.accelerator.tcs[core_id]
+        return tc.count_active(tx_id) >= tc.capacity // 4
+
+    def _tc_write(self, core, tx_id: int, op, on_issue: StoreIssue) -> None:
+        accepted = self.accelerator.cpu_write(
+            core.core_id, tx_id, op.addr, op.version)
+        if accepted:
+            on_issue(1)
+            return
+
+        if not self.accelerator.tcs[core.core_id].is_full():
+            # Rejected with free capacity: an *associativity* overflow
+            # (only possible with the set-associative organization —
+            # paper §4.1: the CAM FIFO "is not susceptible" to these).
+            # Waiting could deadlock if the blocking entries belong to
+            # this very transaction, so fall back to copy-on-write now.
+            self.stats.inc("assoc_overflow_fallbacks")
+            self._divert(core.core_id, tx_id)
+            self.overflow.write(core.core_id, tx_id, op.addr, op.version)
+            on_issue(1)
+            return
+
+        # TC full: the CPU stalls until an acknowledgment frees an entry.
+        def retry() -> None:
+            if self._should_fall_back(core.core_id, tx_id):
+                self._divert(core.core_id, tx_id)
+                self.overflow.write(core.core_id, tx_id, op.addr, op.version)
+                on_issue(1)
+                return
+            self._tc_write(core, tx_id, op, on_issue)
+
+        self.stats.inc("tc_full_stalls")
+        self.accelerator.wait_for_space(core.core_id, retry)
+
+    def _divert(self, core_id: int, tx_id: int) -> None:
+        """Demote the running transaction to the COW fall-back path."""
+        dropped = self.accelerator.tcs[core_id].drop_transaction(tx_id)
+        self.overflow.divert(
+            core_id, tx_id, [(e.tag, e.version) for e in dropped])
+
+    def tx_end(self, core, op, resume: Resume) -> None:
+        tx_id = op.tx_id
+        if self.overflow.is_fallback(tx_id):
+            def committed() -> None:
+                self.commit_cycle[tx_id] = self.sim.now
+                self.committed_tx.add(tx_id)
+                resume()
+
+            self.overflow.commit(core.core_id, tx_id, committed)
+            return
+        self.accelerator.cpu_commit(core.core_id, tx_id)
+        self.commit_cycle[tx_id] = self.sim.now
+        self.committed_tx.add(tx_id)
+        resume()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def busy(self) -> bool:
+        return self.accelerator.busy() or self.overflow.busy()
+
+    def durably_committed(self, crash_cycle: int) -> set:
+        committed = {tx for tx, cycle in self.commit_cycle.items()
+                     if cycle <= crash_cycle
+                     and not self.overflow.is_fallback(tx)}
+        committed.update(
+            state.tx_id for state in self.overflow.committed_at(crash_cycle))
+        return committed
+
+    def durable_lines(self, crash_cycle: int) -> Dict[int, Optional[Version]]:
+        """Recovery output after a crash at ``crash_cycle``.
+
+        The simulation must be paused at (or after all activity up to)
+        the crash cycle: the NVM image is replayed from its timeline,
+        while the nonvolatile TC contents are read in place."""
+        recovered = {
+            line: version
+            for line, version in self.memory.durable_state_at(crash_cycle).items()
+            if is_home_line(line)
+        }
+        # Apply recovered transactions in commit order so conflicting
+        # lines end up with the newest committed version — and never
+        # overwrite durable data that a *later*-committed transaction
+        # already put in place (a fall-back transaction's pending home
+        # copies can be older than a subsequent TC write to the line).
+        replay: List[Tuple[int, Dict[int, Optional[Version]]]] = []
+        for tc in self.accelerator.tcs:
+            by_tx: Dict[int, Dict[int, Optional[Version]]] = {}
+            for entry in tc.committed_unacked():
+                by_tx.setdefault(entry.tx_id, {})[entry.tag] = entry.version
+            for tx_id, lines in by_tx.items():
+                replay.append((self.commit_cycle.get(tx_id, 0), lines))
+        for state in self.overflow.committed_at(crash_cycle):
+            replay.append((state.record_durable_at, dict(state.writes)))
+
+        def commit_of(version: Optional[Version]) -> int:
+            if version is None or version.tx_id is None:
+                return -1
+            return self.commit_cycle.get(version.tx_id, -1)
+
+        for cycle, lines in sorted(replay, key=lambda item: item[0]):
+            for line, version in lines.items():
+                if commit_of(recovered.get(line)) <= cycle:
+                    recovered[line] = version
+        return recovered

@@ -1,0 +1,23 @@
+"""NV-heaps-style persistent object API over the simulator.
+
+Write ordinary Python against :class:`PersistentArena` and the
+persistent collections; run the resulting program under any persistence
+scheme; crash-test its atomicity.  This is the paper's §4.2 software
+interface (``Transaction { ... }`` over a persistent heap) made
+concrete.
+"""
+
+from .arena import PersistentArena, TransactionError
+from .collections import (
+    PersistentCounter,
+    PersistentDict,
+    PersistentList,
+)
+
+__all__ = [
+    "PersistentArena",
+    "PersistentCounter",
+    "PersistentDict",
+    "PersistentList",
+    "TransactionError",
+]

@@ -1,0 +1,88 @@
+"""Simulation layer: system builder, runners, crash checker, reports."""
+
+from .crash import (
+    CrashReport,
+    check_recovery,
+    crash_sweep,
+    expected_image,
+    measure_run_length,
+    run_with_crash,
+)
+from .analytic import (
+    TraceProfile,
+    compare_with_simulation,
+    predict_overhead_cycles,
+    predict_relative_performance,
+)
+from .energy import EnergyBreakdown, EnergyModel, estimate_energy
+from .report import (
+    SCHEME_ORDER,
+    format_bars,
+    figure6_ipc,
+    figure7_throughput,
+    figure8_llc_miss_rate,
+    figure9_write_traffic,
+    figure10_load_latency,
+    format_figure,
+    format_table1,
+    format_table2,
+    format_table3,
+    geomean,
+    normalized_rows,
+)
+from .runner import (
+    ALL_SCHEMES,
+    SimulationResult,
+    collect_result,
+    make_mixed_traces,
+    make_traces,
+    run_comparison,
+    run_experiment,
+)
+from .sweep import Sweep, SweepOutcome, llc_size_sweep, tc_size_sweep
+from .system import System
+from .validate import ValidationReport, validate_config, validate_setup
+
+__all__ = [
+    "ALL_SCHEMES",
+    "SCHEME_ORDER",
+    "CrashReport",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "SimulationResult",
+    "Sweep",
+    "SweepOutcome",
+    "System",
+    "TraceProfile",
+    "ValidationReport",
+    "compare_with_simulation",
+    "predict_overhead_cycles",
+    "predict_relative_performance",
+    "estimate_energy",
+    "format_bars",
+    "llc_size_sweep",
+    "make_mixed_traces",
+    "tc_size_sweep",
+    "validate_config",
+    "validate_setup",
+    "check_recovery",
+    "collect_result",
+    "crash_sweep",
+    "expected_image",
+    "figure6_ipc",
+    "figure7_throughput",
+    "figure8_llc_miss_rate",
+    "figure9_write_traffic",
+    "figure10_load_latency",
+    "format_figure",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "geomean",
+    "make_traces",
+    "measure_run_length",
+    "normalized_rows",
+    "run_comparison",
+    "run_experiment",
+    "run_with_crash",
+]

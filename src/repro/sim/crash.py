@@ -1,0 +1,170 @@
+"""Crash injection and recovery checking.
+
+The correctness contract of every persistence scheme is **failure
+atomicity**: after a crash at any cycle, recovery must produce an NVM
+image in which every transaction is either completely present (it is
+*durably committed*) or completely absent — and for each line, the
+version found must be the newest among durably committed writers in
+program order (write-order control, paper §2).
+
+:func:`run_with_crash` builds a fresh system, pauses the event loop at
+the crash cycle, asks the scheme's recovery model for the recovered
+image and the durably-committed set, and checks both against the
+scheme-independent expectation derived from the workload traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..common.config import MachineConfig, small_machine_config
+from ..common.types import SchemeName, Version, is_home_line, line_addr
+from ..cpu.trace import OpType, Trace
+from .runner import make_traces
+from .system import System
+
+
+def expected_image(traces: Sequence[Trace],
+                   committed: Set[int]) -> Dict[int, Version]:
+    """The line→version map implied by the traces if exactly the
+    transactions in ``committed`` survived, in per-core program order
+    (cores write disjoint heaps, so per-core order is total)."""
+    expected: Dict[int, Version] = {}
+    for trace in traces:
+        open_tx: Optional[int] = None
+        for op in trace.ops:
+            if op.op is OpType.TX_BEGIN:
+                open_tx = op.tx_id
+            elif op.op is OpType.TX_END:
+                open_tx = None
+            elif (op.op is OpType.STORE and op.version is not None
+                    and is_home_line(op.addr) and open_tx in committed):
+                expected[line_addr(op.addr)] = op.version
+    return expected
+
+
+def check_recovery(traces: Sequence[Trace],
+                   recovered: Dict[int, Optional[Version]],
+                   committed: Set[int]) -> List[str]:
+    """Return atomicity/ordering violations (empty list = consistent)."""
+    violations: List[str] = []
+    expected = expected_image(traces, committed)
+    all_tx = set()
+    for trace in traces:
+        for op in trace.ops:
+            if op.op is OpType.TX_BEGIN:
+                all_tx.add(op.tx_id)
+    for line, version in expected.items():
+        found = recovered.get(line)
+        if found != version:
+            violations.append(
+                f"line {line:#x}: expected committed {version}, found {found}")
+    for line, found in recovered.items():
+        if found is None or found.tx_id is None:
+            continue
+        if found.tx_id in all_tx and found.tx_id not in committed:
+            violations.append(
+                f"line {line:#x}: uncommitted data {found} leaked into NVM")
+    return violations
+
+
+@dataclass
+class CrashReport:
+    """Outcome of one crash-injection run."""
+
+    workload: str
+    scheme: SchemeName
+    crash_cycle: int
+    total_cycles: int          # length of an uninterrupted run
+    committed: Set[int] = field(default_factory=set)
+    program_committed: int = 0  # TX_ENDs retired before the crash
+    recovered_lines: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+
+def measure_run_length(
+    workload: str,
+    scheme: Union[str, SchemeName],
+    *,
+    config: Optional[MachineConfig] = None,
+    num_cores: int = 1,
+    operations: int = 50,
+    seed: int = 42,
+    traces: Optional[Sequence[Trace]] = None,
+    **workload_params,
+) -> int:
+    """Cycles an uninterrupted run of this experiment takes (used to
+    place crash points as fractions of the execution)."""
+    config = config or small_machine_config(num_cores=num_cores)
+    system = System(config, scheme)
+    if traces is None:
+        traces = make_traces(workload, config.num_cores, operations,
+                             seed=seed, **workload_params)
+    system.load_traces(traces)
+    system.run()
+    return system.sim.now
+
+
+def run_with_crash(
+    workload: str,
+    scheme: Union[str, SchemeName],
+    crash_cycle: int,
+    *,
+    config: Optional[MachineConfig] = None,
+    num_cores: int = 1,
+    operations: int = 50,
+    seed: int = 42,
+    total_cycles: Optional[int] = None,
+    traces: Optional[Sequence[Trace]] = None,
+    **workload_params,
+) -> CrashReport:
+    """Run a fresh system, crash it at ``crash_cycle``, recover, check.
+
+    The system is paused exactly at the crash cycle, so volatile state
+    (caches, queues) is as a real crash would find it, and the scheme's
+    nonvolatile structures (NVM image, TC contents, logs) are read in
+    place by its recovery model.
+    """
+    config = config or small_machine_config(num_cores=num_cores)
+    system = System(config, scheme)
+    if traces is None:
+        traces = make_traces(workload, config.num_cores, operations,
+                             seed=seed, **workload_params)
+    system.load_traces(traces)
+    system.run(until=crash_cycle)
+    committed = system.scheme.durably_committed(crash_cycle)
+    recovered = system.scheme.durable_lines(crash_cycle)
+    violations = check_recovery(traces, recovered, committed)
+    program_committed = sum(core.committed_transactions
+                            for core in system.cores)
+    return CrashReport(
+        workload=workload,
+        scheme=SchemeName.parse(scheme),
+        crash_cycle=crash_cycle,
+        total_cycles=total_cycles or crash_cycle,
+        committed=set(committed),
+        program_committed=program_committed,
+        recovered_lines=len(recovered),
+        violations=violations,
+    )
+
+
+def crash_sweep(
+    workload: str,
+    scheme: Union[str, SchemeName],
+    fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
+    **kwargs,
+) -> List[CrashReport]:
+    """Crash the same experiment at several points of its execution."""
+    total = measure_run_length(workload, scheme, **kwargs)
+    reports = []
+    for fraction in fractions:
+        crash_cycle = max(1, int(total * fraction))
+        reports.append(run_with_crash(workload, scheme, crash_cycle,
+                                      total_cycles=total, **kwargs))
+    return reports

@@ -1,0 +1,102 @@
+"""Energy estimation — an extension the paper leaves implicit.
+
+The paper argues write traffic (Fig. 9) as a cost; NVM writes are also
+the dominant *energy* cost in a persistent memory system (STT-RAM
+writes cost several times a read).  This module folds the simulator's
+event counters into a per-component energy estimate so schemes can be
+compared on energy as well as time.
+
+Per-access energies are configurable; defaults are
+order-of-magnitude figures for 64 B accesses drawn from the
+STT-RAM/DRAM literature the paper cites (e.g. [17]): they are meant for
+*relative* scheme comparison, not absolute joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..common.stats import Stats
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-access energy in picojoules (64 B granularity)."""
+
+    l1_access_pj: float = 20.0
+    l2_access_pj: float = 60.0
+    llc_access_pj: float = 250.0
+    tc_access_pj: float = 35.0        # 4 KB STT-RAM CAM
+    dram_read_pj: float = 650.0
+    dram_write_pj: float = 650.0
+    nvm_read_pj: float = 800.0        # STT-RAM main memory
+    nvm_write_pj: float = 2500.0      # STT-RAM writes are expensive
+
+    def estimate(self, stats: Stats, num_cores: int) -> "EnergyBreakdown":
+        """Fold a finished run's counters into an energy breakdown."""
+        l1 = sum(stats.counter(f"l1.{core}.access")
+                 for core in range(num_cores))
+        l2 = sum(stats.counter(f"l2.{core}.access")
+                 for core in range(num_cores))
+        llc = stats.counter("llc.access")
+        tc = sum(
+            stats.counter(f"tc.{core}.{event}")
+            for core in range(num_cores)
+            for event in ("write.inserted", "write.coalesced",
+                          "probe.hit", "probe.miss", "ack.matched",
+                          "issue.entries"))
+        components = {
+            "l1": l1 * self.l1_access_pj,
+            "l2": l2 * self.l2_access_pj,
+            "llc": llc * self.llc_access_pj,
+            "tc": tc * self.tc_access_pj,
+            "dram_read": stats.counter("mem.dram.read.requests")
+            * self.dram_read_pj,
+            "dram_write": stats.counter("mem.dram.write.requests")
+            * self.dram_write_pj,
+            "nvm_read": stats.counter("mem.nvm.read.requests")
+            * self.nvm_read_pj,
+            "nvm_write": stats.counter("mem.nvm.write.requests")
+            * self.nvm_write_pj,
+        }
+        return EnergyBreakdown(components=components)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energy of one run, in picojoules."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def memory_pj(self) -> float:
+        """Off-chip (DRAM + NVM) energy."""
+        return sum(value for name, value in self.components.items()
+                   if name.startswith(("dram", "nvm")))
+
+    @property
+    def nvm_write_pj(self) -> float:
+        return self.components.get("nvm_write", 0.0)
+
+    def fraction(self, name: str) -> float:
+        return self.components.get(name, 0.0) / self.total_pj \
+            if self.total_pj else 0.0
+
+    def format(self, label: str = "") -> str:
+        lines = [f"energy breakdown {label}".rstrip() + ":"]
+        for name, value in sorted(self.components.items(),
+                                  key=lambda item: -item[1]):
+            lines.append(f"  {name:<11} {value / 1e6:10.3f} uJ "
+                         f"({self.fraction(name) * 100:5.1f}%)")
+        lines.append(f"  {'total':<11} {self.total_pj / 1e6:10.3f} uJ")
+        return "\n".join(lines)
+
+
+def estimate_energy(system, model: EnergyModel = EnergyModel()) -> EnergyBreakdown:
+    """Energy breakdown of a finished :class:`~repro.sim.system.System`."""
+    return model.estimate(system.stats, system.config.num_cores)

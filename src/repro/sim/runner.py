@@ -1,0 +1,205 @@
+"""Experiment runner: build a system, run traces, extract the paper's
+metrics (IPC, throughput, LLC miss rate, NVM write traffic, persistent
+load latency)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..common.config import MachineConfig, small_machine_config
+from ..common.types import SchemeName
+from ..cpu.trace import Trace
+from ..workloads import create_workload
+from .system import System
+
+#: the scheme order the paper's figures use
+ALL_SCHEMES = (SchemeName.SP, SchemeName.TXCACHE,
+               SchemeName.KILN, SchemeName.OPTIMAL)
+
+
+@dataclass
+class SimulationResult:
+    """Headline metrics of one (workload, scheme) run."""
+
+    workload: str
+    scheme: SchemeName
+    cycles: int
+    instructions: int            # useful (pre-instrumentation) instructions
+    instructions_executed: int   # including scheme-injected instructions
+    transactions: int
+    llc_accesses: float
+    llc_misses: float
+    nvm_write_lines: float
+    nvm_read_lines: float
+    persist_load_latency: float      # all persistent loads (core view)
+    persist_llc_load_latency: float  # persistent loads at/below the LLC (Fig 10)
+    load_latency: float
+    tc_full_stall_events: float = 0.0
+    stall_cycles: Dict[str, float] = field(default_factory=dict)
+    raw_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Raw instructions per cycle, as a cycle-accurate simulator
+        measures it — scheme-injected instructions (SP's logging, Fig.
+        2b) count as retired work.  This is why the paper's SP looks
+        better on IPC (Fig. 6, 47.7%) than on transaction throughput
+        (Fig. 7, 31.6%): the extra instructions inflate IPC but not the
+        transaction rate."""
+        return self.instructions_executed / self.cycles if self.cycles else 0.0
+
+    @property
+    def useful_ipc(self) -> float:
+        """Original-workload instructions per cycle (injected
+        persistence instructions excluded)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Transactions per cycle (paper Fig. 7)."""
+        return self.transactions / self.cycles if self.cycles else 0.0
+
+    @property
+    def llc_miss_rate(self) -> float:
+        return self.llc_misses / self.llc_accesses if self.llc_accesses else 0.0
+
+    def to_dict(self, include_raw: bool = False) -> Dict[str, object]:
+        """JSON-serializable summary (for the CLI and result files)."""
+        out: Dict[str, object] = {
+            "workload": self.workload,
+            "scheme": self.scheme.value,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "instructions_executed": self.instructions_executed,
+            "transactions": self.transactions,
+            "ipc": self.ipc,
+            "useful_ipc": self.useful_ipc,
+            "throughput": self.throughput,
+            "llc_accesses": self.llc_accesses,
+            "llc_misses": self.llc_misses,
+            "llc_miss_rate": self.llc_miss_rate,
+            "nvm_write_lines": self.nvm_write_lines,
+            "nvm_read_lines": self.nvm_read_lines,
+            "persist_load_latency": self.persist_load_latency,
+            "persist_llc_load_latency": self.persist_llc_load_latency,
+            "load_latency": self.load_latency,
+            "tc_full_stall_events": self.tc_full_stall_events,
+            "stall_cycles": dict(self.stall_cycles),
+        }
+        if include_raw:
+            out["raw_stats"] = dict(self.raw_stats)
+        return out
+
+
+def collect_result(system: System, workload: str = "") -> SimulationResult:
+    """Extract a :class:`SimulationResult` from a finished system."""
+    stats = system.stats
+    active = list(zip(system.cores, system.source_traces))
+    instructions = sum(trace.instructions for _core, trace in active)
+    executed = sum(core.instructions_retired for core, _trace in active)
+    transactions = sum(core.committed_transactions for core, _trace in active)
+    persist = [stats.summary(f"core.{core.core_id}.persist_load.latency")
+               for core, _t in active]
+    loads = [stats.summary(f"core.{core.core_id}.load.latency")
+             for core, _t in active]
+
+    def weighted_mean(summaries) -> float:
+        total = sum(s.total for s in summaries)
+        count = sum(s.count for s in summaries)
+        return total / count if count else 0.0
+
+    stall_cycles = {}
+    for kind in ("load", "commit", "fence", "store_buffer", "store_issue"):
+        stall_cycles[kind] = sum(
+            stats.counter(f"core.{core.core_id}.stall.{kind}")
+            for core, _t in active)
+
+    return SimulationResult(
+        workload=workload,
+        scheme=system.scheme.name,
+        cycles=system.cycles,
+        instructions=instructions,
+        instructions_executed=executed,
+        transactions=transactions,
+        llc_accesses=stats.counter("llc.access"),
+        llc_misses=stats.counter("llc.miss"),
+        nvm_write_lines=stats.counter("mem.nvm.write.lines"),
+        nvm_read_lines=stats.counter("mem.nvm.read.requests"),
+        persist_load_latency=weighted_mean(persist),
+        persist_llc_load_latency=stats.mean("hierarchy.persist_llc_load.latency"),
+        load_latency=weighted_mean(loads),
+        tc_full_stall_events=stats.counter("tc.full_stalls"),
+        stall_cycles=stall_cycles,
+        raw_stats=stats.as_dict(),
+    )
+
+
+def make_traces(workload: str, num_cores: int, operations: int,
+                seed: int = 42, **workload_params) -> List[Trace]:
+    """One trace per core, from per-core workload instances with
+    disjoint heaps and distinct RNG streams."""
+    return [
+        create_workload(workload, core_id=core_id, seed=seed,
+                        **workload_params).generate(operations)
+        for core_id in range(num_cores)
+    ]
+
+
+def make_mixed_traces(workloads: Sequence[str], operations: int,
+                      seed: int = 42) -> List[Trace]:
+    """Heterogeneous multiprogramming: one *different* workload per
+    core (the paper runs homogeneous mixes; this exercises shared-LLC
+    and NVM-channel interaction between unlike access patterns)."""
+    return [
+        create_workload(name, core_id=core_id, seed=seed).generate(operations)
+        for core_id, name in enumerate(workloads)
+    ]
+
+
+def run_experiment(
+    workload: str,
+    scheme: Union[str, SchemeName],
+    *,
+    config: Optional[MachineConfig] = None,
+    num_cores: int = 4,
+    operations: int = 300,
+    seed: int = 42,
+    traces: Optional[Sequence[Trace]] = None,
+    **workload_params,
+) -> SimulationResult:
+    """Run one (workload, scheme) experiment to completion."""
+    config = config or small_machine_config(num_cores=num_cores)
+    system = System(config, scheme)
+    if traces is None:
+        traces = make_traces(workload, config.num_cores, operations,
+                             seed=seed, **workload_params)
+    system.load_traces(traces)
+    system.run()
+    if not system.done:
+        raise RuntimeError(
+            f"{workload}/{SchemeName.parse(scheme).value}: simulation "
+            "drained its event queue without finishing")
+    return collect_result(system, workload=workload)
+
+
+def run_comparison(
+    workload: str,
+    schemes: Sequence[Union[str, SchemeName]] = ALL_SCHEMES,
+    **kwargs,
+) -> Dict[SchemeName, SimulationResult]:
+    """Run one workload under several schemes on identical traces."""
+    results: Dict[SchemeName, SimulationResult] = {}
+    num_cores = kwargs.pop("num_cores", 4)
+    config = kwargs.pop("config", None) or small_machine_config(num_cores=num_cores)
+    operations = kwargs.pop("operations", 300)
+    seed = kwargs.pop("seed", 42)
+    traces = kwargs.pop("traces", None)
+    if traces is None:
+        traces = make_traces(workload, config.num_cores, operations,
+                             seed=seed, **kwargs)
+    for scheme in schemes:
+        name = SchemeName.parse(scheme)
+        results[name] = run_experiment(
+            workload, name, config=config, traces=traces)
+    return results

@@ -1,0 +1,81 @@
+"""System builder: cores + hierarchy + memory + scheme in one object."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..cache.hierarchy import CacheHierarchy
+from ..common.config import MachineConfig, small_machine_config
+from ..common.event import Simulator
+from ..common.stats import Stats
+from ..common.types import SchemeName
+from ..cpu.core import Core
+from ..cpu.trace import Trace
+from ..memory.system import MemorySystem
+from ..persistence import PersistenceScheme, create_scheme
+
+
+class System:
+    """A complete simulated machine running one persistence scheme.
+
+    >>> system = System.build("txcache")
+    >>> system.load_traces([some_trace])
+    >>> system.run()
+    """
+
+    def __init__(self, config: MachineConfig,
+                 scheme_name: Union[str, SchemeName]) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.stats = Stats()
+        self.memory = MemorySystem(self.sim, config, self.stats)
+        self.hierarchy = CacheHierarchy(self.sim, config, self.stats, self.memory)
+        self.scheme: PersistenceScheme = create_scheme(
+            scheme_name, self.sim, config, self.stats,
+            self.hierarchy, self.memory)
+        self.cores: List[Core] = [
+            Core(self.sim, core_id, config.core,
+                 self.stats.scoped(f"core.{core_id}"), self.scheme)
+            for core_id in range(config.num_cores)
+        ]
+        #: original (pre-instrumentation) traces, for metrics/checking
+        self.source_traces: List[Trace] = []
+
+    @staticmethod
+    def build(scheme_name: Union[str, SchemeName],
+              config: Optional[MachineConfig] = None,
+              num_cores: int = 1) -> "System":
+        """Convenience constructor with the scaled test machine."""
+        return System(config or small_machine_config(num_cores=num_cores),
+                      scheme_name)
+
+    # ------------------------------------------------------------------
+    def load_traces(self, traces: Sequence[Trace]) -> None:
+        """Assign one trace per core (fewer traces → idle cores) after
+        scheme-specific instrumentation."""
+        if len(traces) > len(self.cores):
+            raise ValueError(
+                f"{len(traces)} traces for {len(self.cores)} cores")
+        self.source_traces = list(traces)
+        for core, trace in zip(self.cores, traces):
+            prepared = self.scheme.prepare_trace(trace)
+            prepared.validate()
+            core.run_trace(prepared)
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> None:
+        """Drain the event queue (optionally pausing at ``until``)."""
+        self.sim.run(until=until, max_events=max_events)
+
+    @property
+    def done(self) -> bool:
+        active = [core for core, _t in zip(self.cores, self.source_traces)]
+        return (all(core.done for core in active)
+                and not self.memory.busy()
+                and not self.scheme.busy())
+
+    @property
+    def cycles(self) -> int:
+        """Execution time: the slowest active core's finish cycle."""
+        active = [core for core, _t in zip(self.cores, self.source_traces)]
+        return max((core.cycle for core in active), default=0)

@@ -1,0 +1,48 @@
+"""The paper's benchmark suite (Table 3) plus a synthetic microbenchmark.
+
+Importing this package registers all workloads; use
+:func:`create_workload` / :data:`WORKLOADS` to instantiate them.
+"""
+
+from .base import (
+    WORD,
+    WORKLOADS,
+    Memory,
+    Workload,
+    create_workload,
+    register,
+    workload_table,
+)
+from .btree import BTreeWorkload
+from .graph import GraphWorkload
+from .hashtable import HashtableWorkload
+from .heap import BumpHeap, OutOfMemory, PersistentHeap, VolatileHeap
+from .queue import QueueWorkload
+from .rbtree import RbTreeWorkload
+from .sps import SpsWorkload
+from .synthetic import SyntheticWorkload
+
+#: the five benchmarks of the paper's Table 3, in its order
+PAPER_WORKLOADS = ("graph", "rbtree", "sps", "btree", "hashtable")
+
+__all__ = [
+    "WORD",
+    "WORKLOADS",
+    "PAPER_WORKLOADS",
+    "BTreeWorkload",
+    "BumpHeap",
+    "GraphWorkload",
+    "HashtableWorkload",
+    "Memory",
+    "OutOfMemory",
+    "PersistentHeap",
+    "QueueWorkload",
+    "RbTreeWorkload",
+    "SpsWorkload",
+    "SyntheticWorkload",
+    "VolatileHeap",
+    "Workload",
+    "create_workload",
+    "register",
+    "workload_table",
+]

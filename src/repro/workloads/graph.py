@@ -1,0 +1,59 @@
+"""graph — adjacency-list edge insertion (paper Table 3).
+
+A vertex table of head pointers plus linked edge nodes, the classic
+structure whose dangling-pointer failure mode motivates persistent
+memory ordering (paper §1): the new edge node's fields must be durable
+before the head pointer that makes it reachable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import WORD, Workload, register
+
+#: edge node layout: dest (8 B) | next (8 B)
+EDGE_DEST = 0
+EDGE_NEXT = 8
+EDGE_SIZE = 16
+
+SETUP_BATCH = 16
+
+
+@register
+class GraphWorkload(Workload):
+    name = "graph"
+    description = "Insert in an adjacency list graph."
+
+    def __init__(self, core_id: int = 0, seed: int = 42,
+                 vertices: int = 1024) -> None:
+        super().__init__(core_id=core_id, seed=seed)
+        self.vertices = vertices
+        self.heads_base = self.heap.alloc(vertices * WORD)
+        #: functional mirror: adjacency lists, newest edge first
+        self.adjacency: Dict[int, List[int]] = {v: [] for v in range(vertices)}
+
+    def _head_addr(self, vertex: int) -> int:
+        return self.heads_base + vertex * WORD
+
+    def setup(self) -> None:
+        for start in range(0, self.vertices, SETUP_BATCH):
+            with self.transaction():
+                for vertex in range(start,
+                                    min(start + SETUP_BATCH, self.vertices)):
+                    self.mem.write(self._head_addr(vertex))  # head = null
+
+    def run_operation(self, index: int) -> None:
+        src = self.rng.randrange(self.vertices)
+        dst = self.rng.randrange(self.vertices)
+        with self.transaction():
+            self.mem.compute(8)                    # vertex selection + p_malloc
+            self.mem.read(self._head_addr(src))    # old head
+            node = self.heap.alloc(EDGE_SIZE)
+            self.mem.write(node + EDGE_DEST)       # node value first...
+            self.mem.write(node + EDGE_NEXT)       # ...then its link...
+            self.mem.write(self._head_addr(src))   # ...then publish
+        self.adjacency[src].insert(0, dst)
+
+    def degree(self, vertex: int) -> int:
+        return len(self.adjacency[vertex])

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope", "txcache"])
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "sps", "nope"])
+
+
+class TestTables:
+    def test_tables_prints_all_three(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "Table 3" in out
+        assert "CAM FIFO" in out
+
+
+class TestWorkloads:
+    def test_lists_paper_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("graph", "rbtree", "sps", "btree", "hashtable"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "sps", "txcache", "--operations", "20",
+                     "--cores", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sps / txcache" in out
+        assert "IPC" in out
+
+    def test_run_json_output(self, capsys):
+        code = main(["run", "sps", "optimal", "--operations", "20",
+                     "--cores", "1", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workload"] == "sps"
+        assert data["scheme"] == "optimal"
+        assert data["cycles"] > 0
+        assert data["transactions"] > 0
+
+
+class TestCompare:
+    def test_compare_prints_all_schemes(self, capsys):
+        code = main(["compare", "hashtable", "--operations", "20",
+                     "--cores", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for scheme in ("sp", "txcache", "kiln", "optimal"):
+            assert scheme in out
+
+
+class TestCrash:
+    def test_crash_consistent_scheme_exits_zero(self, capsys):
+        code = main(["crash", "sps", "txcache", "--operations", "15",
+                     "--fractions", "0.3", "0.7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CONSISTENT" in out
+        assert "TORN" not in out
+
+    def test_crash_optimal_reports_but_exits_zero(self, capsys):
+        # optimal has no recovery contract; torn state is informational
+        code = main(["crash", "sps", "optimal", "--operations", "15",
+                     "--fractions", "0.5"])
+        assert code == 0
+
+
+class TestMix:
+    def test_mix_runs_heterogeneous_cores(self, capsys):
+        code = main(["mix", "sps", "hashtable", "--operations", "15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "core 0 (sps.core0)" in out
+        assert "core 1 (hashtable.core1)" in out
+
+
+class TestValidate:
+    def test_validate_sane_setup(self, capsys):
+        code = main(["validate", "rbtree", "--operations", "50",
+                     "--cores", "2"])
+        assert code == 0
+        assert "looks sane" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_stats(self, capsys):
+        code = main(["trace", "graph", "--operations", "25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transactions:" in out
+
+    def test_trace_dump_round_trip(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.jsonl"
+        code = main(["trace", "rbtree", "--operations", "10",
+                     "--out", str(out_file)])
+        assert code == 0
+        from repro.cpu.trace import Trace
+        with open(out_file) as fp:
+            trace = Trace.load(fp)
+        assert trace.transactions > 0
+        trace.validate()

@@ -1,0 +1,158 @@
+"""Unit tests for the core timing model (run under the Optimal scheme)."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.config import small_machine_config
+from repro.common.event import Simulator
+from repro.common.stats import Stats
+from repro.common.types import NVM_BASE, Version
+from repro.cpu.core import Core
+from repro.cpu.trace import OpType, Trace, TraceBuilder, TraceOp
+from repro.memory.system import MemorySystem
+from repro.persistence.base import OptimalScheme
+
+
+def build_core(num_cores=1, core_config=None):
+    sim = Simulator()
+    stats = Stats()
+    config = small_machine_config(num_cores=num_cores)
+    if core_config is not None:
+        from dataclasses import replace
+        config = replace(config, core=core_config)
+    memory = MemorySystem(sim, config, stats)
+    hierarchy = CacheHierarchy(sim, config, stats, memory)
+    scheme = OptimalScheme(sim, config, stats, hierarchy, memory)
+    core = Core(sim, 0, config.core, stats.scoped("core.0"), scheme)
+    return sim, stats, core, hierarchy, memory
+
+
+def run(sim, core, trace):
+    done = []
+    core.run_trace(trace, on_done=lambda: done.append(True))
+    sim.run()
+    assert done, "core did not finish its trace"
+    return core
+
+
+class TestCompute:
+    def test_compute_retires_issue_width_per_cycle(self):
+        sim, stats, core, _h, _m = build_core()
+        trace = Trace("t", [TraceOp(OpType.COMPUTE, count=40)])
+        run(sim, core, trace)
+        assert core.cycle == 10  # 40 instructions / 4-issue
+        assert core.instructions_retired == 40
+
+    def test_compute_rounds_up(self):
+        sim, stats, core, _h, _m = build_core()
+        trace = Trace("t", [TraceOp(OpType.COMPUTE, count=5)])
+        run(sim, core, trace)
+        assert core.cycle == 2
+
+
+class TestLoads:
+    def test_l1_hit_load_costs_one_cycle(self):
+        sim, stats, core, hierarchy, _m = build_core()
+        trace = Trace("t", [
+            TraceOp(OpType.LOAD, addr=NVM_BASE),
+            TraceOp(OpType.LOAD, addr=NVM_BASE),
+        ])
+        run(sim, core, trace)
+        # first load misses to NVM; second is an L1 hit fully hidden
+        assert stats.counter("l1.0.hit") == 1
+        summary = stats.summary("core.0.load.latency")
+        assert summary.count == 2
+        assert summary.minimum == hierarchy.l1[0].latency
+
+    def test_memory_miss_stalls_full_latency(self):
+        sim, stats, core, _h, _m = build_core()
+        trace = Trace("t", [TraceOp(OpType.LOAD, addr=NVM_BASE)])
+        run(sim, core, trace)
+        assert core.cycle > 130
+        assert stats.counter("core.0.stall.load") > 0
+
+    def test_persistent_load_latency_sampled(self):
+        sim, stats, core, _h, _m = build_core()
+        trace = Trace("t", [
+            TraceOp(OpType.LOAD, addr=NVM_BASE),
+            TraceOp(OpType.LOAD, addr=1 << 20),
+        ])
+        run(sim, core, trace)
+        assert stats.summary("core.0.persist_load.latency").count == 1
+        assert stats.summary("core.0.load.latency").count == 2
+
+
+class TestStores:
+    def test_store_issues_in_one_cycle(self):
+        sim, stats, core, _h, _m = build_core()
+        trace = Trace("t", [TraceOp(OpType.STORE, addr=NVM_BASE,
+                                    version=Version(None, 0))])
+        core.run_trace(trace)
+        sim.run(until=2)
+        # core moved on immediately even though the fill is outstanding
+        assert core.instructions_retired == 1
+        sim.run()
+
+    def test_store_buffer_backpressure(self):
+        from repro.common.config import CoreConfig
+        sim, stats, core, _h, _m = build_core(
+            core_config=CoreConfig(store_buffer_entries=2))
+        ops = [TraceOp(OpType.STORE, addr=NVM_BASE + i * 4096)
+               for i in range(16)]
+        run(sim, core, Trace("t", ops))
+        assert stats.counter("core.0.stall.store_buffer.events") > 0
+
+    def test_stores_complete_architecturally_in_order(self):
+        sim, stats, core, hierarchy, memory = build_core()
+        ops = [TraceOp(OpType.STORE, addr=NVM_BASE, version=Version(None, i))
+               for i in range(4)]
+        run(sim, core, Trace("t", ops))
+        assert hierarchy.newest_version(0, NVM_BASE) == Version(None, 3)
+
+
+class TestTransactions:
+    def test_tx_registers_follow_paper_semantics(self):
+        sim, stats, core, _h, _m = build_core()
+        builder = TraceBuilder("t")
+        builder.begin_tx()
+        builder.store(NVM_BASE)
+        builder.end_tx()
+        trace = builder.build()
+        core.run_trace(trace)
+        # step until inside the transaction
+        while core.mode_tx is None and sim.step():
+            pass
+        assert core.mode_tx == 1
+        assert core.next_tx_id == 2
+        sim.run()
+        assert core.mode_tx is None
+        assert core.committed_transactions == 1
+
+    def test_instruction_accounting_includes_markers(self):
+        sim, stats, core, _h, _m = build_core()
+        builder = TraceBuilder("t")
+        builder.compute(8)
+        builder.begin_tx()
+        builder.store(NVM_BASE)
+        builder.end_tx()
+        trace = builder.build()
+        run(sim, core, trace)
+        assert core.instructions_retired == trace.instructions == 11
+
+
+class TestMultiOpPrograms:
+    def test_dependent_load_chain_time_accumulates(self):
+        sim, stats, core, _h, _m = build_core()
+        ops = [TraceOp(OpType.LOAD, addr=NVM_BASE + i * 4096) for i in range(4)]
+        run(sim, core, Trace("t", ops))
+        # four independent NVM misses, serialized by the blocking-load model
+        assert core.cycle > 4 * 130
+
+    def test_core_finishes_exactly_once(self):
+        sim, stats, core, _h, _m = build_core()
+        finishes = []
+        trace = Trace("t", [TraceOp(OpType.COMPUTE, count=4)])
+        core.run_trace(trace, on_done=lambda: finishes.append(1))
+        sim.run()
+        assert finishes == [1]
+        assert stats.counter("core.0.finished") == 1

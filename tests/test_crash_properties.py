@@ -1,0 +1,97 @@
+"""Property-based crash-consistency and data-structure tests."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.crash import check_recovery, measure_run_length, run_with_crash
+from repro.workloads.btree import BTreeWorkload
+from repro.workloads.rbtree import RbTreeWorkload
+
+# one shared uninterrupted-run length per scheme (the trace is
+# deterministic for a fixed seed, so this is stable across examples)
+_TOTALS = {}
+
+
+def total_for(scheme):
+    if scheme not in _TOTALS:
+        _TOTALS[scheme] = measure_run_length(
+            "sps", scheme, operations=25, seed=21, array_elements=64)
+    return _TOTALS[scheme]
+
+
+class TestCrashAtomicityProperties:
+    """Failure atomicity must hold at *every* crash cycle, not just the
+    hand-picked fractions — hypothesis hunts for bad cycles."""
+
+    @given(fraction=st.floats(0.01, 0.99))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_txcache_consistent_at_any_cycle(self, fraction):
+        total = total_for("txcache")
+        report = run_with_crash("sps", "txcache",
+                                max(1, int(total * fraction)),
+                                operations=25, seed=21, array_elements=64)
+        assert report.consistent, report.violations[:3]
+
+    @given(fraction=st.floats(0.01, 0.99))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_sp_consistent_at_any_cycle(self, fraction):
+        total = total_for("sp")
+        report = run_with_crash("sps", "sp",
+                                max(1, int(total * fraction)),
+                                operations=25, seed=21, array_elements=64)
+        assert report.consistent, report.violations[:3]
+
+    @given(fraction=st.floats(0.01, 0.99))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_kiln_consistent_at_any_cycle(self, fraction):
+        total = total_for("kiln")
+        report = run_with_crash("sps", "kiln",
+                                max(1, int(total * fraction)),
+                                operations=25, seed=21, array_elements=64)
+        assert report.consistent, report.violations[:3]
+
+
+class TestDataStructureProperties:
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_rbtree_invariants_under_random_inserts(self, keys):
+        tree = RbTreeWorkload(seed=1, initial_keys=0)
+        for key in keys:
+            tree.insert(key, key * 2)
+        tree.check_invariants()
+        assert tree.sorted_keys() == sorted(set(keys))
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_rbtree_search_matches_dict(self, keys):
+        tree = RbTreeWorkload(seed=1, initial_keys=0)
+        reference = {}
+        for key in keys:
+            tree.insert(key, key * 3)
+            reference[key] = key * 3
+        for key, value in reference.items():
+            assert tree.search(key) == value
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_btree_invariants_under_random_inserts(self, keys):
+        tree = BTreeWorkload(seed=1, initial_keys=0)
+        for key in keys:
+            tree.insert(key, key * 2)
+        tree.check_invariants()
+        assert tree.sorted_keys() == sorted(set(keys))
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_btree_search_matches_dict(self, keys):
+        tree = BTreeWorkload(seed=1, initial_keys=0)
+        reference = {}
+        for key in keys:
+            tree.insert(key, key * 3)
+            reference[key] = key * 3
+        for key, value in reference.items():
+            assert tree.search(key) == value

@@ -1,0 +1,71 @@
+"""Tests for the energy-estimation extension."""
+
+import pytest
+
+from repro.common.types import NVM_BASE, SchemeName, Version
+from repro.cpu.trace import TraceBuilder
+from repro.sim.energy import EnergyBreakdown, EnergyModel, estimate_energy
+from repro.sim.runner import make_traces
+from repro.sim.system import System
+
+
+def run_system(scheme, operations=30):
+    system = System.build(scheme, num_cores=1)
+    system.load_traces(make_traces("sps", 1, operations, seed=9,
+                                   array_elements=128))
+    system.run()
+    return system
+
+
+class TestEnergyModel:
+    def test_empty_stats_zero_energy(self):
+        from repro.common.stats import Stats
+        breakdown = EnergyModel().estimate(Stats(), num_cores=1)
+        assert breakdown.total_pj == 0.0
+        assert breakdown.fraction("nvm_write") == 0.0
+
+    def test_components_follow_counters(self):
+        from repro.common.stats import Stats
+        stats = Stats()
+        stats.inc("l1.0.access", 100)
+        stats.inc("mem.nvm.write.requests", 10)
+        model = EnergyModel()
+        breakdown = model.estimate(stats, num_cores=1)
+        assert breakdown.components["l1"] == 100 * model.l1_access_pj
+        assert breakdown.nvm_write_pj == 10 * model.nvm_write_pj
+        assert breakdown.total_pj == pytest.approx(
+            breakdown.components["l1"] + breakdown.nvm_write_pj)
+
+    def test_custom_energies_respected(self):
+        from repro.common.stats import Stats
+        stats = Stats()
+        stats.inc("mem.nvm.write.requests", 1)
+        breakdown = EnergyModel(nvm_write_pj=7.0).estimate(stats, 1)
+        assert breakdown.nvm_write_pj == 7.0
+
+
+class TestSchemeEnergyComparison:
+    def test_sp_spends_most_nvm_write_energy(self):
+        energies = {
+            scheme: estimate_energy(run_system(scheme)).nvm_write_pj
+            for scheme in ("sp", "txcache", "kiln", "optimal")
+        }
+        assert energies["sp"] > energies["txcache"]
+        assert energies["txcache"] > energies["kiln"]
+
+    def test_tc_component_only_for_txcache(self):
+        txcache = estimate_energy(run_system("txcache"))
+        optimal = estimate_energy(run_system("optimal"))
+        assert txcache.components["tc"] > 0
+        assert optimal.components["tc"] == 0
+
+    def test_format_is_readable(self):
+        breakdown = estimate_energy(run_system("txcache"))
+        text = breakdown.format("(txcache)")
+        assert "nvm_write" in text
+        assert "total" in text
+        assert "uJ" in text
+
+    def test_memory_fraction(self):
+        breakdown = estimate_energy(run_system("optimal"))
+        assert 0 < breakdown.memory_pj <= breakdown.total_pj

@@ -1,0 +1,99 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.event import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(10, order.append, "late")
+    sim.schedule(1, order.append, "early")
+    sim.schedule(5, order.append, "middle")
+    sim.run()
+    assert order == ["early", "middle", "late"]
+
+
+def test_same_cycle_events_run_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in range(8):
+        sim.schedule(3, order.append, tag)
+    sim.run()
+    assert order == list(range(8))
+
+
+def test_now_advances_to_last_event():
+    sim = Simulator()
+    sim.schedule(42, lambda: None)
+    sim.run()
+    assert sim.now == 42
+
+
+def test_schedule_during_run_is_executed():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 3:
+            sim.schedule(2, chain, depth + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 6
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, fired.append, "a")
+    sim.schedule(50, fired.append, "b")
+    sim.run(until=10)
+    assert fired == ["a"]
+    assert sim.now == 10
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_max_events_guard_raises():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_pending_counts_queued_events():
+    sim = Simulator()
+    assert sim.pending() == 0
+    sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    assert sim.pending() == 2

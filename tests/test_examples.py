@@ -1,0 +1,52 @@
+"""Smoke tests: the shipped examples must run and tell their story."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path, argv=None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [path] + (argv or [])
+    try:
+        runpy.run_path(path, run_name="__main__")
+    except SystemExit as exc:  # argparse-based examples exit cleanly
+        assert not exc.code
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("examples/quickstart.py", capsys=capsys)
+        assert "TXCACHE achieves" in out
+        assert "% of native performance" in out
+
+    def test_crash_recovery_demo(self, capsys):
+        out = run_example("examples/crash_recovery_demo.py", capsys=capsys)
+        assert "scheme: optimal" in out
+        assert "scheme: txcache" in out
+        assert "TORN" in out          # optimal tears somewhere
+        # every txcache crash point is consistent
+        txcache_section = out.split("scheme: txcache")[1]
+        assert "TORN" not in txcache_section
+
+    def test_custom_workload(self, capsys):
+        out = run_example("examples/custom_workload.py", capsys=capsys)
+        assert "bank_transfer" in out
+        assert "4KB" in out
+
+    def test_pheap_demo(self, capsys):
+        out = run_example("examples/pheap_demo.py", capsys=capsys)
+        assert "CONSISTENT" in out
+        assert "TORN" not in out
+        assert "x optimal" in out
+
+    def test_reproduce_paper_parses_arguments(self, capsys):
+        # --help exits cleanly (run_example absorbs the SystemExit)
+        out = run_example("examples/reproduce_paper.py", argv=["--help"],
+                          capsys=capsys)
+        assert "--quick" in out
+        assert "--operations" in out

@@ -1,0 +1,97 @@
+"""Regression tests for the MSHR fill-clobber bug.
+
+A load or store that coalesces onto an outstanding miss must never let
+the (stale) memory fill overwrite newer data applied by an earlier
+store waiter — found by the cross-scheme architectural-equivalence
+property test and fixed in ``CacheHierarchy._fill_private`` /
+``_fill``/``_insert_llc``.
+"""
+
+from repro.common.types import NVM_BASE, Version
+from repro.cpu.trace import TraceBuilder
+from repro.sim.system import System
+
+
+def run(trace, scheme="optimal"):
+    system = System.build(scheme, num_cores=1)
+    system.load_traces([trace])
+    system.run()
+    return system
+
+
+class TestFillClobberRegression:
+    def test_store_store_load_same_line(self):
+        """The falsifying example: two transactions store the same line
+        (fills still in flight), then a load coalesces onto the miss."""
+        builder = TraceBuilder("t")
+        builder.begin_tx(); builder.store(NVM_BASE); builder.end_tx()
+        builder.begin_tx(); builder.store(NVM_BASE); builder.end_tx()
+        builder.load(NVM_BASE)
+        system = run(builder.build())
+        entry = system.hierarchy.l1[0].probe(NVM_BASE)
+        assert entry is not None
+        assert entry.version == Version(2, 0)
+        assert entry.dirty, "fill must not clear the dirty bit"
+
+    def test_coalesced_load_sees_earlier_store(self):
+        """A load waiter behind a store waiter on the same miss must
+        observe the store's data (program order)."""
+        builder = TraceBuilder("t")
+        builder.begin_tx()
+        builder.store(NVM_BASE)
+        builder.load(NVM_BASE)
+        builder.end_tx()
+        system = System.build("optimal", num_cores=1)
+        trace = builder.build()
+        seen = []
+        # intercept the load completion through the hierarchy directly
+        original = system.scheme.load
+
+        def spy(core, op, on_complete):
+            original(core, op,
+                     lambda lat, version: (seen.append(version),
+                                           on_complete(lat, version)))
+
+        system.scheme.load = spy
+        system.load_traces([trace])
+        system.run()
+        assert seen == [Version(1, 0)]
+
+    def test_dirty_llc_entry_survives_clean_reinstall(self):
+        """A clean fill must not clobber a dirty LLC entry's version."""
+        from repro.cache.hierarchy import CacheHierarchy
+        from repro.common.config import small_machine_config
+        from repro.common.event import Simulator
+        from repro.common.stats import Stats
+        from repro.memory.system import MemorySystem
+
+        sim = Simulator()
+        stats = Stats()
+        config = small_machine_config(num_cores=1)
+        memory = MemorySystem(sim, config, stats)
+        hierarchy = CacheHierarchy(sim, config, stats, memory)
+        hierarchy._insert_llc(NVM_BASE, Version(5, 0), dirty=True,
+                              persistent=True)
+        hierarchy._insert_llc(NVM_BASE, None, dirty=False)
+        entry = hierarchy.llc.probe(NVM_BASE)
+        assert entry.dirty
+        assert entry.version == Version(5, 0)
+
+    def test_all_schemes_agree_on_final_state(self):
+        builder = TraceBuilder("t")
+        for _round in range(3):
+            builder.begin_tx()
+            builder.store(NVM_BASE)
+            builder.store(NVM_BASE + 64)
+            builder.end_tx()
+            builder.load(NVM_BASE)
+        trace = builder.build()
+        states = {}
+        for scheme in ("optimal", "sp", "kiln", "txcache"):
+            system = run(trace, scheme)
+            states[scheme] = (
+                system.hierarchy.newest_version(0, NVM_BASE),
+                system.hierarchy.newest_version(0, NVM_BASE + 64),
+            )
+        assert len(set(states.values())) == 1, states
+        assert states["optimal"][0] == Version(3, 0)

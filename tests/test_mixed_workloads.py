@@ -1,0 +1,78 @@
+"""Heterogeneous multiprogramming tests (one workload per core)."""
+
+import pytest
+
+from repro.common.types import SchemeName
+from repro.sim.crash import check_recovery
+from repro.sim.runner import collect_result, make_mixed_traces
+from repro.sim.system import System
+
+
+def run_mix(workloads, scheme="txcache", operations=40):
+    system = System.build(scheme, num_cores=len(workloads))
+    traces = make_mixed_traces(workloads, operations, seed=8)
+    system.load_traces(traces)
+    system.run()
+    return system, traces
+
+
+class TestMixedTraces:
+    def test_one_trace_per_workload(self):
+        traces = make_mixed_traces(["sps", "graph"], 20, seed=1)
+        assert len(traces) == 2
+        assert traces[0].name.startswith("sps")
+        assert traces[1].name.startswith("graph")
+
+    def test_transaction_ids_disjoint_across_cores(self):
+        traces = make_mixed_traces(["sps", "rbtree", "btree"], 20, seed=1)
+        seen = set()
+        for trace in traces:
+            ids = {op.tx_id for op in trace.ops if op.tx_id is not None}
+            assert not (ids & seen)
+            seen |= ids
+
+    def test_heaps_are_disjoint(self):
+        traces = make_mixed_traces(["sps", "hashtable"], 20, seed=1)
+        from repro.common.types import is_persistent_addr, line_addr
+        footprints = []
+        for trace in traces:
+            footprints.append({
+                line_addr(op.addr) for op in trace.ops
+                if op.addr and is_persistent_addr(op.addr)})
+        assert not (footprints[0] & footprints[1])
+
+
+class TestMixedExecution:
+    def test_all_cores_finish(self):
+        system, traces = run_mix(["sps", "graph", "hashtable"])
+        assert all(core.done for core in system.cores)
+        result = collect_result(system, "mix")
+        assert result.transactions == sum(
+            core.committed_transactions for core in system.cores)
+
+    @pytest.mark.parametrize("scheme", ["txcache", "sp", "kiln"])
+    def test_mixed_run_is_crash_consistent(self, scheme):
+        system = System.build(scheme, num_cores=2)
+        traces = make_mixed_traces(["sps", "queue"], 25, seed=8)
+        system.load_traces(traces)
+        total_probe = System.build(scheme, num_cores=2)
+        total_probe.load_traces(traces)
+        total_probe.run()
+        crash = total_probe.sim.now // 2
+        system.run(until=crash)
+        committed = system.scheme.durably_committed(crash)
+        recovered = system.scheme.durable_lines(crash)
+        assert check_recovery(traces, recovered, committed) == []
+
+    def test_mix_matches_homogeneous_functionality(self):
+        """The write-intense core must not corrupt the other core's
+        persistent state."""
+        system, traces = run_mix(["sps", "rbtree"], scheme="txcache")
+        from repro.sim.crash import expected_image
+        all_tx = {op.tx_id for trace in traces for op in trace.ops
+                  if op.tx_id is not None}
+        expected = expected_image(traces, all_tx)
+        for line, version in list(expected.items())[:200]:
+            core = 0 if line < traces[1].ops[0].addr else 1
+            assert system.hierarchy.newest_version(0, line) == version or \
+                system.hierarchy.newest_version(1, line) == version

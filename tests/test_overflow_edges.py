@@ -1,0 +1,107 @@
+"""Edge-case tests for the copy-on-write overflow fall-back."""
+
+import pytest
+
+from repro.common.config import small_machine_config
+from repro.common.event import Simulator
+from repro.common.stats import Stats
+from repro.common.types import NVM_BASE, Version
+from repro.core.overflow import (
+    RECORD_BASE,
+    SHADOW_OFFSET,
+    OverflowManager,
+    is_metadata_line,
+    record_addr,
+    shadow_addr,
+)
+from repro.memory.system import MemorySystem
+
+
+def make_manager():
+    sim = Simulator()
+    stats = Stats()
+    memory = MemorySystem(sim, small_machine_config(num_cores=1), stats)
+    manager = OverflowManager(sim, memory, stats.scoped("cow"))
+    return sim, stats, memory, manager
+
+
+def line(i):
+    return NVM_BASE + i * 64
+
+
+class TestAddressing:
+    def test_shadow_and_record_are_metadata(self):
+        assert is_metadata_line(shadow_addr(line(0)))
+        assert is_metadata_line(record_addr(1))
+        assert not is_metadata_line(line(0))
+
+    def test_shadow_addresses_disjoint_from_home(self):
+        assert shadow_addr(line(0)) != line(0)
+        assert shadow_addr(line(0)) >= RECORD_BASE
+
+    def test_record_addresses_unique_per_tx(self):
+        assert record_addr(1) != record_addr(2)
+
+
+class TestFallbackLifecycle:
+    def test_commit_before_shadow_completion_waits(self):
+        sim, stats, memory, manager = make_manager()
+        manager.divert(0, 1, [(line(0), Version(1, 0))])
+        committed = []
+        manager.commit(0, 1, lambda: committed.append(sim.now))
+        # commit registered but record not durable until shadows drain
+        assert manager.busy()
+        sim.run()
+        assert committed
+        assert not manager.busy()
+
+    def test_empty_fallback_tx_commits(self):
+        sim, stats, memory, manager = make_manager()
+        manager.divert(0, 2, [])
+        committed = []
+        manager.commit(0, 2, lambda: committed.append(True))
+        sim.run()
+        assert committed
+        assert manager.committed_at(sim.now)[0].tx_id == 2
+
+    def test_same_line_rewrites_keep_newest(self):
+        sim, stats, memory, manager = make_manager()
+        manager.divert(0, 3, [])
+        manager.write(0, 3, line(0), Version(3, 0))
+        manager.write(0, 3, line(0), Version(3, 5))
+        manager.commit(0, 3, lambda: None)
+        sim.run()
+        assert memory.durable_image.final_state()[line(0)] == Version(3, 5)
+
+    def test_active_fallback_cleared_at_commit(self):
+        sim, stats, memory, manager = make_manager()
+        manager.divert(0, 4, [])
+        assert manager.active_fallback_for(0) == 4
+        manager.commit(0, 4, lambda: None)
+        assert manager.active_fallback_for(0) is None
+        sim.run()
+
+    def test_uncommitted_fallback_never_touches_home(self):
+        sim, stats, memory, manager = make_manager()
+        manager.divert(0, 5, [(line(7), Version(5, 0))])
+        manager.write(0, 5, line(8), Version(5, 1))
+        sim.run()  # no commit
+        final = memory.durable_image.final_state()
+        assert line(7) not in final
+        assert line(8) not in final
+        assert shadow_addr(line(7)) in final  # shadow data exists
+        assert manager.committed_at(sim.now) == []
+
+    def test_two_cores_independent_fallbacks(self):
+        sim, stats, memory, manager = make_manager()
+        manager.divert(0, 6, [])
+        manager.divert(1, 7, [])
+        assert manager.active_fallback_for(0) == 6
+        assert manager.active_fallback_for(1) == 7
+        manager.write(0, 6, line(0), Version(6, 0))
+        manager.write(1, 7, line(1), Version(7, 0))
+        manager.commit(0, 6, lambda: None)
+        manager.commit(1, 7, lambda: None)
+        sim.run()
+        committed = {s.tx_id for s in manager.committed_at(sim.now)}
+        assert committed == {6, 7}

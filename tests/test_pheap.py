@@ -1,0 +1,178 @@
+"""Tests for the NV-heaps-style persistent object API."""
+
+import pytest
+
+from repro.pheap import (
+    PersistentArena,
+    PersistentCounter,
+    PersistentDict,
+    PersistentList,
+    TransactionError,
+)
+
+
+def arena():
+    return PersistentArena("test")
+
+
+class TestArena:
+    def test_persistent_store_outside_tx_rejected(self):
+        a = arena()
+        addr = None
+        with a.transaction():
+            addr = a.p_malloc(8)
+            a.write_word(addr)
+        with pytest.raises(TransactionError, match="outside a transaction"):
+            a.write_word(addr)
+
+    def test_volatile_store_allowed_outside_tx(self):
+        a = arena()
+        addr = a.malloc(8)
+        a.write_word(addr)  # no error: DRAM
+
+    def test_trace_finalization_is_idempotent_and_freezing(self):
+        a = arena()
+        with a.transaction():
+            a.write_word(a.p_malloc(8))
+        trace = a.trace()
+        assert a.trace() is trace
+        with pytest.raises(TransactionError, match="finalized"):
+            a.compute(1)
+
+    def test_trace_validates(self):
+        a = arena()
+        with a.transaction():
+            a.write_word(a.p_malloc(8))
+        a.trace().validate()
+
+
+class TestPersistentDict:
+    def test_set_get(self):
+        a = arena()
+        d = PersistentDict(a)
+        with a.transaction():
+            d["x"] = 1
+            d["y"] = 2
+        assert d["x"] == 1
+        assert d.get("y") == 2
+        assert d.get("z", 99) == 99
+        assert len(d) == 2
+
+    def test_update_in_place(self):
+        a = arena()
+        d = PersistentDict(a)
+        with a.transaction():
+            d["k"] = 1
+        with a.transaction():
+            d["k"] = 2
+        assert d["k"] == 2
+        assert len(d) == 1
+
+    def test_delete(self):
+        a = arena()
+        d = PersistentDict(a, buckets=2)
+        with a.transaction():
+            for key in range(6):
+                d[key] = key * 10
+        with a.transaction():
+            del d[3]
+        assert 3 not in d
+        assert len(d) == 5
+        with pytest.raises(KeyError):
+            _ = d[3]
+
+    def test_missing_key_raises(self):
+        d = PersistentDict(arena())
+        with pytest.raises(KeyError):
+            _ = d["nope"]
+
+    def test_collisions_resolved_by_chaining(self):
+        a = arena()
+        d = PersistentDict(a, buckets=1)
+        with a.transaction():
+            for key in range(10):
+                d[key] = key
+        assert sorted(d.keys()) == list(range(10))
+
+    def test_mutation_outside_tx_rejected(self):
+        d = PersistentDict(arena())
+        with pytest.raises(TransactionError):
+            d["k"] = 1
+
+
+class TestPersistentList:
+    def test_append_and_index(self):
+        a = arena()
+        lst = PersistentList(a, capacity=2)
+        with a.transaction():
+            for value in ("a", "b", "c", "d", "e"):
+                lst.append(value)
+        assert list(lst) == ["a", "b", "c", "d", "e"]
+        assert lst[-1] == "e"
+        assert len(lst) == 5
+
+    def test_growth_emits_copy_traffic(self):
+        a = arena()
+        lst = PersistentList(a, capacity=2)
+        with a.transaction():
+            for value in range(8):
+                lst.append(value)
+        trace = a.trace()
+        # growth copies: strictly more stores than one per append
+        assert trace.persistent_stores > 8
+
+    def test_setitem(self):
+        a = arena()
+        lst = PersistentList(a)
+        with a.transaction():
+            lst.append(1)
+            lst[0] = 42
+        assert lst[0] == 42
+
+    def test_index_error(self):
+        lst = PersistentList(arena())
+        with pytest.raises(IndexError):
+            _ = lst[0]
+
+
+class TestPersistentCounter:
+    def test_increment(self):
+        a = arena()
+        counter = PersistentCounter(a)
+        with a.transaction():
+            counter.increment()
+            counter.increment(5)
+        assert counter.value == 6
+
+
+class TestEndToEnd:
+    def build_program(self):
+        a = PersistentArena("shop")
+        stock = PersistentDict(a, buckets=16)
+        log = PersistentList(a)
+        with a.transaction():
+            stock["widgets"] = 10
+            stock["gadgets"] = 5
+        for order in range(20):
+            with a.transaction():
+                item = "widgets" if order % 2 else "gadgets"
+                stock[item] = stock[item] - 1 if stock[item] else 0
+                log.append((item, order))
+        return a
+
+    def test_program_runs_under_txcache(self):
+        a = self.build_program()
+        result = a.run("txcache")
+        assert result.transactions == a.trace().transactions
+        assert result.cycles > 0
+
+    def test_program_is_crash_consistent(self):
+        a = self.build_program()
+        for report in a.crash_test("txcache"):
+            assert report.consistent, report.violations[:3]
+
+    def test_program_tears_without_persistence(self):
+        # under Optimal nothing is guaranteed; the arena API still runs
+        a = self.build_program()
+        result = a.run("optimal")
+        assert result.transactions > 0

@@ -1,0 +1,61 @@
+"""Tests for the persistent-queue extension workload."""
+
+import pytest
+
+from repro.sim.crash import crash_sweep
+from repro.workloads import QueueWorkload, create_workload
+
+
+class TestQueueFunctional:
+    def test_fifo_order(self):
+        queue = QueueWorkload(seed=1, capacity=16)
+        queue.setup()
+        for value in (10, 20, 30):
+            assert queue.enqueue(value)
+        assert queue.dequeue() == 10
+        assert queue.dequeue() == 20
+        assert queue.enqueue(40)
+        assert queue.dequeue() == 30
+        assert queue.dequeue() == 40
+        assert queue.dequeue() is None
+
+    def test_capacity_limit(self):
+        queue = QueueWorkload(seed=1, capacity=4)
+        queue.setup()
+        for value in range(4):
+            assert queue.enqueue(value)
+        assert not queue.enqueue(99)
+        assert queue.depth() == 4
+
+    def test_wraparound(self):
+        queue = QueueWorkload(seed=1, capacity=4)
+        queue.setup()
+        for round_ in range(5):  # more inserts than capacity, with drains
+            assert queue.enqueue(round_)
+            assert queue.dequeue() == round_
+        assert queue.depth() == 0
+
+    def test_generate_valid_trace(self):
+        trace = create_workload("queue", seed=3).generate(100)
+        trace.validate()
+        assert trace.transactions >= 100
+
+    def test_registered(self):
+        from repro.workloads import WORKLOADS, PAPER_WORKLOADS
+        assert "queue" in WORKLOADS
+        assert "queue" not in PAPER_WORKLOADS  # extension, not Table 3
+
+
+class TestQueueUnderSchemes:
+    @pytest.mark.parametrize("scheme", ["txcache", "sp", "kiln"])
+    def test_crash_consistent(self, scheme):
+        for report in crash_sweep("queue", scheme, fractions=(0.35, 0.75),
+                                  operations=30, seed=5, capacity=64):
+            assert report.consistent, report.violations[:3]
+
+    def test_runs_under_txcache(self):
+        from repro.sim.runner import run_experiment
+        result = run_experiment("queue", "txcache", operations=50,
+                                num_cores=2, capacity=128)
+        assert result.transactions > 50
+        assert result.nvm_write_lines > 0

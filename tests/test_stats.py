@@ -1,0 +1,69 @@
+"""Unit tests for the statistics registry."""
+
+from repro.common.stats import Stats
+
+
+def test_counter_starts_at_zero():
+    stats = Stats()
+    assert stats.counter("never") == 0
+
+
+def test_counter_accumulates():
+    stats = Stats()
+    stats.inc("hits")
+    stats.inc("hits", 4)
+    assert stats.counter("hits") == 5
+
+
+def test_sample_summary():
+    stats = Stats()
+    for value in (10, 20, 30):
+        stats.sample("lat", value)
+    summary = stats.summary("lat")
+    assert summary.count == 3
+    assert summary.mean == 20
+    assert summary.minimum == 10
+    assert summary.maximum == 30
+
+
+def test_mean_of_unseen_sample_is_zero():
+    stats = Stats()
+    assert stats.mean("nothing") == 0.0
+
+
+def test_counters_prefix_filter():
+    stats = Stats()
+    stats.inc("l1.0.hit", 3)
+    stats.inc("l1.1.hit", 2)
+    stats.inc("l2.0.hit", 9)
+    assert stats.counters("l1.") == {"l1.0.hit": 3, "l1.1.hit": 2}
+    assert stats.counter_sum("l1.") == 5
+
+
+def test_scoped_prefixes_names():
+    stats = Stats()
+    scoped = stats.scoped("llc")
+    scoped.inc("miss", 2)
+    scoped.sample("latency", 20)
+    assert stats.counter("llc.miss") == 2
+    assert stats.mean("llc.latency") == 20
+
+
+def test_scoped_nesting():
+    stats = Stats()
+    inner = stats.scoped("core").scoped("0")
+    inner.inc("stall")
+    assert stats.counter("core.0.stall") == 1
+
+
+def test_as_dict_flattens_samples():
+    stats = Stats()
+    stats.inc("c", 7)
+    stats.sample("s", 4)
+    stats.sample("s", 6)
+    flat = stats.as_dict()
+    assert flat["c"] == 7
+    assert flat["s.mean"] == 5
+    assert flat["s.count"] == 2
+    assert flat["s.min"] == 4
+    assert flat["s.max"] == 6

@@ -1,0 +1,146 @@
+"""Unit tests for trace ops, containers, builder, and serialization."""
+
+import io
+
+import pytest
+
+from repro.common.types import NVM_BASE, Version
+from repro.cpu.trace import OpType, Trace, TraceBuilder, TraceOp
+
+
+class TestTraceOp:
+    def test_persistent_flag_follows_address_space(self):
+        assert TraceOp(OpType.STORE, addr=NVM_BASE).persistent
+        assert not TraceOp(OpType.STORE, addr=100).persistent
+        assert not TraceOp(OpType.COMPUTE, addr=NVM_BASE).persistent
+
+    def test_instruction_count(self):
+        assert TraceOp(OpType.COMPUTE, count=7).instructions == 7
+        assert TraceOp(OpType.LOAD, addr=4).instructions == 1
+
+    def test_json_round_trip(self):
+        op = TraceOp(OpType.STORE, addr=NVM_BASE + 8, tx_id=3,
+                     version=Version(3, 1))
+        back = TraceOp.from_json(op.to_json())
+        assert back == op
+
+    def test_json_round_trip_defaults(self):
+        op = TraceOp(OpType.SFENCE)
+        assert TraceOp.from_json(op.to_json()) == op
+
+
+class TestTraceBuilder:
+    def test_builds_valid_transaction(self):
+        builder = TraceBuilder("t")
+        tx = builder.begin_tx()
+        builder.store(NVM_BASE)
+        builder.store(NVM_BASE + 64)
+        builder.end_tx()
+        trace = builder.build()
+        assert tx == 1
+        assert trace.transactions == 1
+        assert trace.persistent_stores == 2
+
+    def test_versions_are_sequential_within_tx(self):
+        builder = TraceBuilder("t")
+        builder.begin_tx()
+        builder.store(NVM_BASE)
+        builder.store(NVM_BASE + 64)
+        builder.end_tx()
+        builder.begin_tx()
+        builder.store(NVM_BASE + 128)
+        builder.end_tx()
+        stores = [op for op in builder.build() if op.op is OpType.STORE]
+        assert stores[0].version == Version(1, 0)
+        assert stores[1].version == Version(1, 1)
+        assert stores[2].version == Version(2, 0)
+
+    def test_volatile_store_gets_no_version(self):
+        builder = TraceBuilder("t")
+        builder.begin_tx()
+        builder.store(100)
+        builder.end_tx()
+        store = builder.build().ops[1]
+        assert store.version is None
+
+    def test_nested_tx_rejected(self):
+        builder = TraceBuilder("t")
+        builder.begin_tx()
+        with pytest.raises(ValueError):
+            builder.begin_tx()
+
+    def test_unclosed_tx_rejected(self):
+        builder = TraceBuilder("t")
+        builder.begin_tx()
+        builder.store(NVM_BASE)
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_compute_coalesces(self):
+        builder = TraceBuilder("t")
+        builder.compute(3)
+        builder.compute(4)
+        builder.load(0)
+        builder.compute(0)  # ignored
+        trace = builder.trace
+        assert len(trace.ops) == 2
+        assert trace.ops[0].count == 7
+
+
+class TestTraceValidation:
+    def test_detects_tx_end_mismatch(self):
+        trace = Trace("bad", [
+            TraceOp(OpType.TX_BEGIN, tx_id=1),
+            TraceOp(OpType.TX_END, tx_id=2),
+        ])
+        with pytest.raises(ValueError, match="TX_END tx 2"):
+            trace.validate()
+
+    def test_detects_missing_version(self):
+        trace = Trace("bad", [
+            TraceOp(OpType.TX_BEGIN, tx_id=1),
+            TraceOp(OpType.STORE, addr=NVM_BASE, tx_id=1),
+            TraceOp(OpType.TX_END, tx_id=1),
+        ])
+        with pytest.raises(ValueError, match="missing version"):
+            trace.validate()
+
+    def test_detects_tx_end_outside(self):
+        trace = Trace("bad", [TraceOp(OpType.TX_END, tx_id=1)])
+        with pytest.raises(ValueError, match="outside"):
+            trace.validate()
+
+
+class TestTraceQueries:
+    def make_trace(self):
+        builder = TraceBuilder("q")
+        builder.compute(10)
+        builder.begin_tx()
+        builder.store(NVM_BASE)
+        builder.load(NVM_BASE)
+        builder.end_tx()
+        builder.begin_tx()
+        builder.store(NVM_BASE + 64)
+        builder.store(NVM_BASE + 128)
+        builder.end_tx()
+        return builder.build()
+
+    def test_instruction_count(self):
+        trace = self.make_trace()
+        # 10 compute + 2 begin + 2 end + 3 stores + 1 load
+        assert trace.instructions == 18
+
+    def test_transaction_writes_grouping(self):
+        groups = self.make_trace().transaction_writes()
+        assert sorted(groups) == [1, 2]
+        assert len(groups[1]) == 1
+        assert len(groups[2]) == 2
+
+    def test_serialization_round_trip(self):
+        trace = self.make_trace()
+        buffer = io.StringIO()
+        trace.dump(buffer)
+        buffer.seek(0)
+        back = Trace.load(buffer)
+        assert back.name == trace.name
+        assert back.ops == trace.ops

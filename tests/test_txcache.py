@@ -1,0 +1,223 @@
+"""Unit tests for the CAM-FIFO transaction cache (paper §4.1)."""
+
+import pytest
+
+from repro.common.config import TxCacheConfig, paper_machine_config
+from repro.common.stats import Stats
+from repro.common.types import NVM_BASE, Version
+from repro.core.txcache import (
+    TransactionCache,
+    TxState,
+    hardware_overhead,
+    overhead_summary_bits,
+)
+
+
+def make_tc(entries=8, threshold=0.9):
+    config = TxCacheConfig(size_bytes=entries * 64,
+                           overflow_threshold=threshold)
+    return TransactionCache(config, Stats().scoped("tc"))
+
+
+def line(i):
+    return NVM_BASE + i * 64
+
+
+class TestWriteInsert:
+    def test_insert_until_full(self):
+        tc = make_tc(entries=4)
+        for i in range(4):
+            assert tc.write(1, line(i), Version(1, i))
+        assert tc.is_full()
+        assert not tc.write(1, line(9), Version(1, 9))
+
+    def test_entries_enter_active_state(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        (entry,) = tc.live_entries()
+        assert entry.state is TxState.ACTIVE
+        assert entry.tx_id == 1
+        assert entry.tag == line(0)
+
+    def test_head_seq_tracks_insertions(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        tc.write(1, line(1), Version(1, 1))
+        assert tc.head_seq == 2
+        assert tc.tail_seq == 0
+
+
+class TestCommitAndIssue:
+    def test_commit_matches_txid(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        tc.write(2, line(1), Version(2, 0))
+        committed = tc.commit(1)
+        assert len(committed) == 1
+        assert committed[0].tag == line(0)
+        states = [e.state for e in tc.live_entries()]
+        assert states == [TxState.COMMITTED, TxState.ACTIVE]
+
+    def test_issue_in_fifo_order(self):
+        tc = make_tc()
+        for i in range(3):
+            tc.write(1, line(i), Version(1, i))
+        tc.commit(1)
+        issued = tc.take_issuable()
+        assert [e.tag for e in issued] == [line(0), line(1), line(2)]
+
+    def test_issue_stops_at_active_entry(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        tc.commit(1)
+        tc.write(2, line(1), Version(2, 0))
+        # a later commit of tx 2 while tx 1 unissued: FIFO order holds
+        issued = tc.take_issuable()
+        assert [e.tag for e in issued] == [line(0)]
+
+    def test_issue_is_idempotent(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        tc.commit(1)
+        assert len(tc.take_issuable()) == 1
+        assert tc.take_issuable() == []
+
+
+class TestAck:
+    def test_ack_frees_nearest_tail_match(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        tc.commit(1)
+        tc.write(2, line(0), Version(2, 0))  # same line, younger tx
+        tc.commit(2)
+        tc.take_issuable()
+        freed = tc.ack(line(0))
+        assert freed.version == Version(1, 0)  # oldest copy freed first
+        assert len(tc.live_entries()) == 1
+
+    def test_same_tx_same_line_write_coalesces(self):
+        tc = make_tc()
+        assert tc.write(1, line(0), Version(1, 0))
+        assert tc.write(1, line(0), Version(1, 3))
+        assert tc.occupancy == 1
+        assert tc.probe(line(0)).version == Version(1, 3)
+
+    def test_coalescing_can_be_disabled(self):
+        from repro.common.config import TxCacheConfig
+        from repro.common.stats import Stats
+        config = TxCacheConfig(size_bytes=8 * 64, coalesce_writes=False)
+        tc = TransactionCache(config, Stats().scoped("tc"))
+        tc.write(1, line(0), Version(1, 0))
+        tc.write(1, line(0), Version(1, 1))
+        assert tc.occupancy == 2
+
+    def test_ack_requires_issued_entry(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        tc.commit(1)
+        # not yet issued: ack must not match
+        assert tc.ack(line(0)) is None
+
+    def test_tail_sweeps_over_out_of_order_acks(self):
+        tc = make_tc(entries=4)
+        for i in range(3):
+            tc.write(1, line(i), Version(1, i))
+        tc.commit(1)
+        tc.take_issuable()
+        # acks arrive out of order: middle first
+        tc.ack(line(1))
+        assert tc.occupancy == 3  # hole: tail cannot move yet
+        tc.ack(line(0))
+        assert tc.occupancy == 1  # tail swept over entries 0 and 1
+        tc.ack(line(2))
+        assert tc.occupancy == 0
+        assert tc.tail_seq == 3
+
+    def test_freed_space_usable_after_sweep(self):
+        tc = make_tc(entries=2)
+        tc.write(1, line(0), Version(1, 0))
+        tc.write(1, line(1), Version(1, 1))
+        assert tc.is_full()
+        tc.commit(1)
+        tc.take_issuable()
+        tc.ack(line(0))
+        assert not tc.is_full()
+        assert tc.write(2, line(2), Version(2, 0))
+
+
+class TestProbe:
+    def test_probe_returns_newest_version(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        tc.write(1, line(0), Version(1, 5))
+        entry = tc.probe(line(0))
+        assert entry.version == Version(1, 5)
+
+    def test_probe_miss_returns_none(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        assert tc.probe(line(3)) is None
+
+    def test_probe_ignores_available_holes(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        tc.commit(1)
+        tc.take_issuable()
+        tc.ack(line(0))
+        assert tc.probe(line(0)) is None
+
+
+class TestOverflow:
+    def test_threshold_detection(self):
+        tc = make_tc(entries=10, threshold=0.9)
+        for i in range(8):
+            tc.write(1, line(i), Version(1, i))
+        assert not tc.above_threshold()
+        tc.write(1, line(8), Version(1, 8))
+        assert tc.above_threshold()
+
+    def test_drop_transaction_frees_active_entries(self):
+        tc = make_tc(entries=4)
+        tc.write(1, line(0), Version(1, 0))
+        tc.commit(1)
+        tc.write(2, line(1), Version(2, 0))
+        tc.write(2, line(2), Version(2, 1))
+        dropped = tc.drop_transaction(2)
+        assert [e.tag for e in dropped] == [line(1), line(2)]
+        assert len(tc.live_entries()) == 1  # tx 1's committed entry remains
+
+
+class TestRecoveryView:
+    def test_committed_unacked_listed_in_fifo_order(self):
+        tc = make_tc()
+        for i in range(3):
+            tc.write(1, line(i), Version(1, i))
+        tc.commit(1)
+        tc.take_issuable()
+        tc.ack(line(0))
+        remaining = tc.committed_unacked()
+        assert [e.tag for e in remaining] == [line(1), line(2)]
+
+    def test_active_entries_distinct_from_committed(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        tc.commit(1)
+        tc.write(2, line(1), Version(2, 0))
+        assert [e.tx_id for e in tc.committed_unacked()] == [1]
+        assert [e.tx_id for e in tc.active_entries()] == [2]
+
+
+class TestHardwareOverhead:
+    def test_table1_txid_bits(self):
+        config = paper_machine_config()
+        rows = hardware_overhead(config)
+        assert rows["CPU TxID/Mode register"]["size"] == "6 bits"
+        assert rows["State in TC data array"]["size"] == "1 bit"
+        assert "4 KB/core" in rows["TC data array"]["size"]
+
+    def test_summary_bits(self):
+        bits = overhead_summary_bits(paper_machine_config())
+        assert bits["txid_bits"] == 6
+        assert bits["per_tc_line_extra_bits"] == 7   # paper §4.4
+        assert bits["per_cache_line_extra_bits"] == 1
+        assert bits["tc_total_bytes_machine"] == 16 * 1024  # 4 x 4 KB

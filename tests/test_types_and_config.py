@@ -1,0 +1,139 @@
+"""Unit tests for shared value types and machine configuration."""
+
+import pytest
+
+from repro.common.config import (
+    CacheLevelConfig,
+    MachineConfig,
+    paper_machine_config,
+    small_machine_config,
+    table2_rows,
+)
+from repro.common.types import (
+    CACHE_LINE_SIZE,
+    NVM_BASE,
+    MemReqType,
+    MemRequest,
+    MemSpace,
+    SchemeName,
+    is_persistent_addr,
+    line_addr,
+    ns_to_cycles,
+)
+
+
+class TestAddressHelpers:
+    def test_line_addr_masks_low_bits(self):
+        assert line_addr(0) == 0
+        assert line_addr(63) == 0
+        assert line_addr(64) == 64
+        assert line_addr(NVM_BASE + 100) == NVM_BASE + 64
+
+    def test_space_split_at_nvm_base(self):
+        assert MemSpace.of(0) is MemSpace.DRAM
+        assert MemSpace.of(NVM_BASE - 1) is MemSpace.DRAM
+        assert MemSpace.of(NVM_BASE) is MemSpace.NVM
+        assert is_persistent_addr(NVM_BASE + 4096)
+        assert not is_persistent_addr(4096)
+
+    def test_mem_request_line_and_space(self):
+        req = MemRequest(addr=NVM_BASE + 70, req_type=MemReqType.WRITE)
+        assert req.line == NVM_BASE + 64
+        assert req.space is MemSpace.NVM
+        assert req.is_write
+
+
+class TestNsToCycles:
+    def test_rounds_up(self):
+        assert ns_to_cycles(0.5, 2.0) == 1
+        assert ns_to_cycles(4.5, 2.0) == 9
+        assert ns_to_cycles(10.0, 2.0) == 20
+        assert ns_to_cycles(65.0, 2.0) == 130
+        assert ns_to_cycles(76.0, 2.0) == 152
+        assert ns_to_cycles(1.5, 2.0) == 3
+
+    def test_minimum_one_cycle(self):
+        assert ns_to_cycles(0.01, 2.0) == 1
+
+
+class TestSchemeName:
+    def test_parse_string(self):
+        assert SchemeName.parse("sp") is SchemeName.SP
+        assert SchemeName.parse("TXCACHE") is SchemeName.TXCACHE
+
+    def test_parse_passthrough(self):
+        assert SchemeName.parse(SchemeName.KILN) is SchemeName.KILN
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            SchemeName.parse("bogus")
+
+
+class TestPaperConfig:
+    def test_table2_core(self):
+        cfg = paper_machine_config()
+        assert cfg.num_cores == 4
+        assert cfg.core.freq_ghz == 2.0
+        assert cfg.core.issue_width == 4
+
+    def test_table2_cache_geometry(self):
+        cfg = paper_machine_config()
+        assert cfg.l1.size_bytes == 32 * 1024 and cfg.l1.assoc == 4
+        assert cfg.l2.size_bytes == 256 * 1024 and cfg.l2.assoc == 8
+        assert cfg.llc.size_bytes == 64 * 1024 * 1024 and cfg.llc.assoc == 16
+        assert cfg.llc.shared and not cfg.l1.shared
+
+    def test_table2_latencies_in_cycles(self):
+        cfg = paper_machine_config()
+        assert cfg.latency("l1") == 1
+        assert cfg.latency("l2") == 9
+        assert cfg.latency("llc") == 20
+        assert cfg.latency("txcache") == 3
+
+    def test_table2_memory(self):
+        cfg = paper_machine_config()
+        assert cfg.nvm.num_ranks == 4 and cfg.nvm.banks_per_rank == 8
+        assert cfg.nvm.read_queue_entries == 8
+        assert cfg.nvm.write_queue_entries == 64
+        assert cfg.nvm.write_drain_threshold == pytest.approx(0.8)
+        assert cfg.nvm.timing.read_ns == 65.0
+        assert cfg.nvm.timing.write_ns == 76.0
+
+    def test_txcache_defaults(self):
+        cfg = paper_machine_config()
+        assert cfg.txcache.size_bytes == 4096
+        assert cfg.txcache.num_entries == 64
+        assert cfg.txcache.overflow_threshold == pytest.approx(0.9)
+
+    def test_table2_rows_render(self):
+        rows = table2_rows(paper_machine_config())
+        assert "4 cores" in rows["CPU"]
+        assert "64MB" in rows["L3 (LLC)"]
+        assert "CAM FIFO" in rows["Transaction Cache"]
+        assert "65-ns read" in rows["NVM Memory"]
+        assert "80% full" in rows["Memory Controllers"]
+
+
+class TestCacheLevelConfig:
+    def test_sets_computed(self):
+        cfg = CacheLevelConfig("l1", 32 * 1024, 4, 0.5)
+        assert cfg.num_lines == 512
+        assert cfg.num_sets == 128
+
+    def test_bad_geometry_rejected(self):
+        cfg = CacheLevelConfig("bad", 100 * 64, 3, 1.0)
+        with pytest.raises(ValueError):
+            _ = cfg.num_sets
+
+
+class TestScaledConfigs:
+    def test_small_machine_preserves_policies(self):
+        cfg = small_machine_config()
+        assert cfg.l1.assoc == 4 and cfg.llc.assoc == 16
+        assert cfg.latency("llc") == 20
+        assert cfg.llc.size_bytes < paper_machine_config().llc.size_bytes
+
+    def test_scaled_llc(self):
+        cfg = paper_machine_config().scaled_llc(128 * 1024)
+        assert cfg.llc.size_bytes == 128 * 1024
+        assert cfg.llc.assoc == 16
