@@ -454,11 +454,16 @@ class CacheHierarchy:
         still makes exactly the right data durable.  If the line was
         never stored to, the callback fires after the L1 latency."""
         line = line_addr(addr)
+        newest = self._arch_version.get(line)
         for level in (self.l1[core_id], self.l2[core_id], self.llc):
             entry = level.probe(line)
-            if entry is not None and entry.dirty:
+            if entry is not None:
                 entry.dirty = False
-        newest = self._arch_version.get(line)
+                # a clean copy must agree with what was made durable:
+                # refresh stale lower-level copies, or a silent clean
+                # eviction of the L1 copy would resurrect old data
+                if newest is not None:
+                    entry.version = newest
         if newest is None or (is_persistent_addr(line)
                               and self.memory.durable_now(line) == newest):
             # never stored, or the newest version is already physically
@@ -489,6 +494,13 @@ class CacheHierarchy:
                 entry.dirty = False
         if not dirty:
             return self.l1[core_id].latency
+        for level in (self.l1[core_id], self.l2[core_id]):
+            entry = level.probe(line)
+            if entry is not None:
+                # same rule as clwb: copies left cached-and-clean must
+                # carry the version that was just pushed to the LLC
+                entry.version = newest
+                entry.tx_id = tx_id
         self._insert_llc(line, newest, dirty=True, persistent=True,
                          tx_id=tx_id, pinned=pin)
         self.stats.inc("kiln.commit_flushes")

@@ -8,6 +8,9 @@ Commands
 ``figures``  regenerate Figures 6-10 over the Table 3 workloads.
 ``crash``    crash-inject one experiment at several points and report
              recovery consistency.
+``chaos``    crash injection × fault injection (imperfect NVM, lossy
+             acks, TC bit errors) swept over workloads, schemes, and
+             crash fractions, checked against the atomicity oracle.
 ``trace``    generate a workload trace, print its statistics, and
              optionally dump it to a file.
 ``workloads``  list registered workloads.
@@ -84,6 +87,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--fractions", type=float, nargs="+",
         default=[0.1, 0.25, 0.5, 0.75, 0.9],
         help="crash points as fractions of the uninterrupted run")
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="fault-injection chaos sweep (crash x faults)")
+    chaos_parser.add_argument("chaos_workloads", nargs="+",
+                              metavar="WORKLOAD",
+                              choices=sorted(WORKLOADS))
+    chaos_parser.add_argument("--schemes", nargs="+",
+                              choices=SCHEME_CHOICES, default=["txcache"])
+    chaos_parser.add_argument("--write-fail", type=float, default=1e-3,
+                              help="NVM write verification failure rate")
+    chaos_parser.add_argument("--ack-loss", type=float, default=1e-3,
+                              help="acknowledgment loss rate")
+    chaos_parser.add_argument("--ack-delay", type=float, default=0.0,
+                              help="acknowledgment delay rate")
+    chaos_parser.add_argument("--ack-dup", type=float, default=0.0,
+                              help="acknowledgment duplication rate")
+    chaos_parser.add_argument("--bit-flip", type=float, default=1e-4,
+                              help="per-bit TC read flip rate")
+    chaos_parser.add_argument("--operations", type=int, default=40)
+    chaos_parser.add_argument("--cores", type=int, default=1)
+    chaos_parser.add_argument("--seed", type=int, default=42)
+    chaos_parser.add_argument("--fault-seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--fractions", type=float, nargs="+",
+        default=[0.1, 0.25, 0.5, 0.75, 0.9],
+        help="crash points as fractions of the fault-free run")
 
     trace_parser = sub.add_parser("trace", help="generate a trace")
     trace_parser.add_argument("workload", choices=sorted(WORKLOADS))
@@ -224,6 +253,41 @@ def cmd_crash(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .common.config import FaultConfig
+    from .sim.chaos import chaos_sweep
+
+    try:
+        fault_config = FaultConfig(
+            seed=args.fault_seed,
+            nvm_write_fail_rate=args.write_fail,
+            ack_loss_rate=args.ack_loss,
+            ack_delay_rate=args.ack_delay,
+            ack_duplicate_rate=args.ack_dup,
+            tc_bit_flip_rate=args.bit_flip,
+        )
+    except ValueError as error:
+        print(f"repro chaos: error: {error}", file=sys.stderr)
+        return 2
+    report = chaos_sweep(
+        args.chaos_workloads, schemes=args.schemes,
+        fault_config=fault_config, fractions=args.fractions,
+        num_cores=args.cores, operations=args.operations, seed=args.seed)
+    print(report.format())
+    torn = report.total_runs - report.survived
+    # Optimal guarantees nothing, so its torn runs are expected; any
+    # persistence scheme tearing under chaos is a real failure.
+    real_failures = sum(
+        not run.consistent for run in report.runs
+        if run.scheme is not SchemeName.OPTIMAL)
+    if real_failures:
+        print(f"{real_failures} atomicity violations under chaos!")
+        return 1
+    if torn:
+        print(f"({torn} torn runs from the optimal scheme — expected)")
+    return 0
+
+
 def cmd_trace(args) -> int:
     workload = create_workload(args.workload, seed=args.seed)
     trace = workload.generate(args.operations)
@@ -276,6 +340,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "figures": cmd_figures,
     "crash": cmd_crash,
+    "chaos": cmd_chaos,
     "trace": cmd_trace,
     "mix": cmd_mix,
     "validate": cmd_validate,

@@ -79,6 +79,12 @@ class TxCacheConfig:
     #: associativity when organization == "set_assoc"
     assoc: int = 4
 
+    def __post_init__(self) -> None:
+        if not 0 < self.overflow_threshold <= 1:
+            raise ValueError(
+                "txcache.overflow_threshold must satisfy 0 < t <= 1, "
+                f"got {self.overflow_threshold}")
+
     @property
     def num_entries(self) -> int:
         return self.size_bytes // self.line_size
@@ -143,6 +149,83 @@ class MemCtrlConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection model parameters (all defaults are *off*).
+
+    The paper's evaluation (like its MARSSx86 setup) assumes perfect
+    hardware; this config describes the imperfect variant: stochastic
+    STT-RAM write failures in the NVM array, lost/delayed/duplicated
+    acknowledgment messages on the NVM-controller→TC path, and
+    single/double bit errors in TC lines protected by SECDED ECC.
+
+    With every rate at 0 (the default) the fault layer is a **strict
+    no-op**: no injector is constructed, no extra events are scheduled,
+    and simulation results are bit-identical to a build without the
+    fault subsystem.
+    """
+
+    #: RNG seed for the injector's per-site deterministic streams
+    seed: int = 0
+    #: probability one NVM array write attempt fails verification
+    nvm_write_fail_rate: float = 0.0
+    #: probability an acknowledgment message is lost on the way to the TC
+    ack_loss_rate: float = 0.0
+    #: probability an acknowledgment is delayed by ``ack_delay_cycles``
+    ack_delay_rate: float = 0.0
+    #: probability an acknowledgment is delivered twice
+    ack_duplicate_rate: float = 0.0
+    #: delay applied to delayed acknowledgments, in cycles
+    ack_delay_cycles: int = 200
+    #: per-bit probability a TC line bit reads flipped (transient; a
+    #: corrected read scrubs the line clean)
+    tc_bit_flip_rate: float = 0.0
+    #: write-verify-retry: bounded retries before the controller remaps
+    #: the line to a spare row (counted as ``write.remaps``)
+    max_write_retries: int = 8
+    #: base backoff before the first retry; doubles per attempt
+    retry_backoff_cycles: int = 16
+    #: TC-side acknowledgment timeout before a committed-unacked entry
+    #: is idempotently reissued toward the NVM
+    ack_timeout_cycles: int = 4000
+    #: a TC whose observed ECC error rate (errors/reads) crosses this
+    #: threshold is degraded: new transactions fall back to the COW path
+    degrade_error_rate: float = 1.0
+    #: minimum ECC-checked reads before the degrade threshold applies
+    degrade_min_reads: int = 256
+
+    def __post_init__(self) -> None:
+        for name in ("nvm_write_fail_rate", "ack_loss_rate",
+                     "ack_delay_rate", "ack_duplicate_rate",
+                     "tc_bit_flip_rate", "degrade_error_rate"):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(
+                    f"faults.{name} must be in [0, 1], got {value}")
+        if (self.ack_loss_rate + self.ack_delay_rate
+                + self.ack_duplicate_rate) > 1:
+            raise ValueError(
+                "faults ack_loss_rate + ack_delay_rate + "
+                "ack_duplicate_rate must not exceed 1")
+        if self.max_write_retries < 0:
+            raise ValueError(
+                f"faults.max_write_retries must be >= 0, "
+                f"got {self.max_write_retries}")
+        for name in ("retry_backoff_cycles", "ack_timeout_cycles",
+                     "ack_delay_cycles", "degrade_min_reads"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(
+                    f"faults.{name} must be >= 1, got {value}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault can actually fire."""
+        return (self.nvm_write_fail_rate > 0 or self.ack_loss_rate > 0
+                or self.ack_delay_rate > 0 or self.ack_duplicate_rate > 0
+                or self.tc_bit_flip_rate > 0)
+
+
+@dataclass(frozen=True)
 class CoreConfig:
     """Timing model of one CPU core.
 
@@ -161,6 +244,11 @@ class CoreConfig:
     store_drain_cycles: int = 2
     #: maximum overlapped outstanding loads (memory-level parallelism)
     mlp: int = 4
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ValueError(
+                f"core.freq_ghz must be > 0, got {self.freq_ghz}")
 
 
 @dataclass(frozen=True)
@@ -196,6 +284,9 @@ class MachineConfig:
                             refresh_interval_ns=7800.0),
         )
     )
+    #: fault-injection model; all-zero rates (the default) are a strict
+    #: no-op — see :class:`FaultConfig`
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     @property
     def freq_ghz(self) -> float:

@@ -15,8 +15,11 @@ and the registry stores ``l1.0.hit``.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Tuple
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+logger = logging.getLogger("repro.stats")
 
 
 @dataclass
@@ -87,15 +90,35 @@ class Histogram:
 class Stats:
     """Flat registry of counters, sample summaries, and histograms."""
 
+    #: warning events kept per name (the counter is always exact; the
+    #: retained messages are a bounded diagnostic sample)
+    MAX_EVENTS_PER_NAME = 8
+
     def __init__(self) -> None:
         self._counters: Dict[str, float] = {}
         self._samples: Dict[str, SampleSummary] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._events: Dict[str, List[str]] = {}
 
     # -- counters ----------------------------------------------------
     def inc(self, name: str, amount: float = 1) -> None:
         """Add ``amount`` to counter ``name`` (creating it at 0)."""
         self._counters[name] = self._counters.get(name, 0) + amount
+
+    # -- warning events ----------------------------------------------
+    def warn(self, name: str, message: str) -> None:
+        """Record a warning-level event: increments counter ``name``,
+        logs the first few occurrences at WARNING, and keeps a bounded
+        sample of messages for post-mortem inspection."""
+        self.inc(name)
+        kept = self._events.setdefault(name, [])
+        if len(kept) < self.MAX_EVENTS_PER_NAME:
+            kept.append(message)
+            logger.warning("%s: %s", name, message)
+
+    def events(self, name: str) -> List[str]:
+        """Retained warning messages for event ``name`` (bounded)."""
+        return list(self._events.get(name, []))
 
     def counter(self, name: str) -> float:
         """Read counter ``name`` (0 if never incremented)."""
@@ -175,6 +198,12 @@ class ScopedStats:
 
     def inc(self, name: str, amount: float = 1) -> None:
         self._parent.inc(self._name(name), amount)
+
+    def warn(self, name: str, message: str) -> None:
+        self._parent.warn(self._name(name), message)
+
+    def events(self, name: str):
+        return self._parent.events(self._name(name))
 
     def counter(self, name: str) -> float:
         return self._parent.counter(self._name(name))

@@ -135,14 +135,19 @@ class SetAssocTransactionBuffer:
         self.stats.inc("issue.entries", len(out))
         return out
 
-    def ack(self, addr: int) -> Optional[TxEntry]:
+    def ack(self, addr: int, seq: Optional[int] = None) -> Optional[TxEntry]:
         tag = line_addr(addr)
         bucket = self._sets[self._set_index(tag)]
         candidates = [entry for entry in bucket
                       if entry.tag == tag and entry.issued
-                      and entry.state is TxState.COMMITTED]
+                      and entry.state is TxState.COMMITTED
+                      and (seq is None or entry.seq == seq)]
         if not candidates:
-            self.stats.inc("ack.unmatched")
+            self.stats.warn(
+                "ack.unmatched",
+                f"unmatched/duplicate NVM ack for line {tag:#x}"
+                + (f" seq {seq}" if seq is not None else "")
+                + " — no entry freed (idempotent drop)")
             return None
         oldest = min(candidates, key=lambda entry: entry.seq)
         bucket.remove(oldest)  # freed in place — no tail sweep needed

@@ -58,6 +58,8 @@ class TxEntry:
     version: Optional[Version]
     state: TxState = TxState.ACTIVE
     issued: bool = False          # write sent toward the NVM
+    issue_cycle: int = -1         # cycle of the newest issue/reissue
+    reissues: int = 0             # ack-timeout reissues of this entry
 
 
 class TransactionCache:
@@ -168,18 +170,31 @@ class TransactionCache:
         self.stats.inc("issue.entries", len(out))
         return out
 
-    def ack(self, addr: int) -> Optional[TxEntry]:
+    def ack(self, addr: int, seq: Optional[int] = None) -> Optional[TxEntry]:
         """NVM acknowledgment: free the matching issued entry nearest
-        the tail, then sweep the tail over available holes."""
+        the tail, then sweep the tail over available holes.
+
+        When ``seq`` is given the ack must name that exact entry — the
+        sequence number travels with the write request, making acks
+        **idempotent**: a duplicated or stale ack (its entry already
+        freed) matches nothing and frees nothing.  Without ``seq`` the
+        classic nearest-tail tag match applies; the two are equivalent
+        in fault-free operation because the controller completes
+        same-line writes in order."""
         tag = line_addr(addr)
         for entry in self._ring:  # deque iterates oldest (tail) first
             if (entry.tag == tag and entry.issued
-                    and entry.state is TxState.COMMITTED):
+                    and entry.state is TxState.COMMITTED
+                    and (seq is None or entry.seq == seq)):
                 entry.state = TxState.AVAILABLE
                 self.stats.inc("ack.matched")
                 self._sweep_tail()
                 return entry
-        self.stats.inc("ack.unmatched")
+        self.stats.warn(
+            "ack.unmatched",
+            f"unmatched/duplicate NVM ack for line {tag:#x}"
+            + (f" seq {seq}" if seq is not None else "")
+            + " — no entry freed (idempotent drop)")
         return None
 
     def probe(self, addr: int) -> Optional[TxEntry]:
@@ -223,6 +238,18 @@ class TransactionCache:
     @property
     def tail_seq(self) -> int:
         return self._tail_seq
+
+    def check_invariants(self) -> None:
+        """Structural head/tail invariants; raises AssertionError on
+        corruption (used by fault-injection tests to prove duplicate
+        acks and reissues leave the FIFO sound)."""
+        assert self._tail_seq <= self._head_seq, (
+            f"tail_seq {self._tail_seq} ran past head_seq {self._head_seq}")
+        assert len(self._ring) <= self.capacity, (
+            f"occupancy {len(self._ring)} exceeds capacity {self.capacity}")
+        assert self._head_seq - self._tail_seq == len(self._ring), (
+            "head/tail pointers disagree with ring occupancy: "
+            f"{self._head_seq} - {self._tail_seq} != {len(self._ring)}")
 
     # ------------------------------------------------------------------
     # recovery view

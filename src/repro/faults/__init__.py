@@ -1,0 +1,34 @@
+"""Fault injection and resilience modelling.
+
+The reproduction's baseline (like the paper's MARSSx86 setup) assumes
+perfect hardware: clean whole-system power cuts, an STT-RAM array that
+never fails a write, and an acknowledgment path that never loses a
+message.  This package models the imperfect variant and the hardware
+mechanisms that answer each fault:
+
+=====================================  ==================================
+fault model                            resilience mechanism
+=====================================  ==================================
+stochastic NVM write failures          write-verify-retry with bounded
+                                       retries + exponential backoff,
+                                       then spare-row remap
+                                       (:mod:`repro.memory.controller`)
+lost / delayed / duplicated acks       ack timeout + idempotent,
+                                       sequence-matched reissue
+                                       (:mod:`repro.core.accelerator`)
+single/double bit flips in TC lines    SECDED ECC: correct-and-scrub
+                                       singles, detect doubles, degrade
+                                       to the COW overflow path
+                                       (:class:`~repro.faults.ecc.SECDEDModel`)
+=====================================  ==================================
+
+Everything is driven by one deterministic, seed-derived
+:class:`~repro.faults.injector.FaultInjector`; with all fault rates at
+zero no injector is constructed at all, so the fault layer is a strict
+no-op on the baseline figures.
+"""
+
+from .injector import AckFate, FaultInjector
+from .ecc import EccOutcome, SECDEDModel
+
+__all__ = ["AckFate", "FaultInjector", "EccOutcome", "SECDEDModel"]

@@ -1,0 +1,91 @@
+"""SECDED ECC model for transaction-cache lines.
+
+The TC array is STT-RAM: reads can observe transient bit flips (read
+disturb / retention errors).  Each TC line carries a SECDED codeword
+(single-error-correct, double-error-detect over the 512-bit line):
+
+* **0 flips** — clean read.
+* **1 flip** — corrected in-line and the corrected word is scrubbed
+  back to the array, so transient singles never accumulate.  (This is
+  why the injector's per-read flip draws are memoryless.)
+* **>= 2 flips** — detected but uncorrectable.  The line's *data* is
+  still recoverable in the paper's design because every transactional
+  store went to **both** the L1 (P/V-flagged) and the TC: the
+  accelerator refills a committed entry from the cache copy
+  (``refills``), while an *active* entry demotes its whole transaction
+  to the copy-on-write overflow path — the graceful-degradation answer
+  instead of crashing the run.
+
+One :class:`SECDEDModel` instance guards one TC.  It also tracks the
+TC's observed error rate; once the rate crosses
+``FaultConfig.degrade_error_rate`` (after ``degrade_min_reads`` reads)
+the TC is *degraded*: the scheme stops admitting new transactions into
+it and runs them on the COW path instead.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..common.config import FaultConfig
+from ..common.stats import ScopedStats
+from .injector import FaultInjector
+
+
+class EccOutcome(enum.Enum):
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    UNCORRECTABLE = "uncorrectable"
+
+
+class SECDEDModel:
+    """Per-TC SECDED check-and-scrub model with degradation tracking."""
+
+    def __init__(self, injector: FaultInjector, config: FaultConfig,
+                 stats: ScopedStats) -> None:
+        self.injector = injector
+        self.config = config
+        self.stats = stats
+        self.reads = 0
+        self.corrected = 0
+        self.uncorrectable = 0
+        self._degraded = False
+
+    def read(self) -> EccOutcome:
+        """ECC-check one TC line read; updates counters and the
+        degradation state."""
+        self.reads += 1
+        self.stats.inc("reads")
+        flips = self.injector.tc_read_flips()
+        if flips == 0:
+            return EccOutcome.CLEAN
+        if flips == 1:
+            self.corrected += 1
+            self.stats.inc("corrected")
+            self._update_degradation()
+            return EccOutcome.CORRECTED
+        self.uncorrectable += 1
+        self.stats.inc("uncorrectable")
+        self._update_degradation()
+        return EccOutcome.UNCORRECTABLE
+
+    # ------------------------------------------------------------------
+    @property
+    def error_rate(self) -> float:
+        if not self.reads:
+            return 0.0
+        return (self.corrected + self.uncorrectable) / self.reads
+
+    @property
+    def degraded(self) -> bool:
+        """Sticky: once a TC's error rate crosses the threshold it is
+        never trusted with new transactions again."""
+        return self._degraded
+
+    def _update_degradation(self) -> None:
+        if self._degraded:
+            return
+        if (self.reads >= self.config.degrade_min_reads
+                and self.error_rate >= self.config.degrade_error_rate):
+            self._degraded = True
+            self.stats.inc("degraded")

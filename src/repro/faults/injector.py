@@ -1,0 +1,106 @@
+"""Deterministic, seed-driven fault injector.
+
+One :class:`FaultInjector` is shared by every component of a system.
+Each fault *site* (NVM write verification, the ack path, TC line reads)
+draws from its own :class:`random.Random` stream, seeded from the
+config seed and the site name — so enabling one fault model never
+perturbs the draw sequence of another, and two runs with the same
+config are bit-identical.
+
+A site whose rate is zero never draws at all; a config with every rate
+at zero never constructs an injector (see ``System``), which is how the
+zero-rate strict-no-op guarantee is kept trivially true.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict, Tuple
+
+from ..common.config import FaultConfig
+
+
+class AckFate(enum.Enum):
+    """What the interconnect does to one acknowledgment message."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+    DELAY = "delay"
+    DUPLICATE = "duplicate"
+
+
+class FaultInjector:
+    """Per-site deterministic RNG streams over a :class:`FaultConfig`."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._streams: Dict[str, random.Random] = {}
+        # Binomial model of one TC line read: every data+check bit can
+        # flip independently with tc_bit_flip_rate.  SECDED corrects
+        # exactly one flip; >= 2 is uncorrectable.
+        bits = self.TC_WORD_BITS
+        p = config.tc_bit_flip_rate
+        if p > 0:
+            p0 = (1 - p) ** bits
+            p1 = bits * p * (1 - p) ** (bits - 1)
+            self._tc_p_clean = p0
+            self._tc_p_single = p0 + p1
+        else:
+            self._tc_p_clean = 1.0
+            self._tc_p_single = 1.0
+
+    #: one TC line as seen by the ECC logic: 512 data bits + 11 SECDED
+    #: check bits (SECDED over 512 bits needs ceil(log2(512)) + 2 = 11)
+    TC_WORD_BITS = 512 + 11
+
+    def _stream(self, site: str) -> random.Random:
+        stream = self._streams.get(site)
+        if stream is None:
+            # string seeds hash via SHA-512 → stable across processes
+            stream = random.Random(f"{self.config.seed}:{site}")
+            self._streams[site] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # fault sites
+    # ------------------------------------------------------------------
+    def nvm_write_fails(self) -> bool:
+        """Does this NVM array write attempt fail verification?"""
+        rate = self.config.nvm_write_fail_rate
+        if rate <= 0:
+            return False
+        return self._stream("nvm.write").random() < rate
+
+    def write_retry_backoff(self, attempt: int) -> int:
+        """Exponential backoff before retry number ``attempt`` (1-based)."""
+        return self.config.retry_backoff_cycles * (1 << min(attempt - 1, 10))
+
+    def ack_fate(self) -> Tuple[AckFate, int]:
+        """Fate of one acknowledgment message: ``(fate, delay_cycles)``."""
+        cfg = self.config
+        if cfg.ack_loss_rate <= 0 and cfg.ack_delay_rate <= 0 \
+                and cfg.ack_duplicate_rate <= 0:
+            return AckFate.DELIVER, 0
+        draw = self._stream("nvm.ack").random()
+        if draw < cfg.ack_loss_rate:
+            return AckFate.DROP, 0
+        draw -= cfg.ack_loss_rate
+        if draw < cfg.ack_delay_rate:
+            return AckFate.DELAY, cfg.ack_delay_cycles
+        draw -= cfg.ack_delay_rate
+        if draw < cfg.ack_duplicate_rate:
+            return AckFate.DUPLICATE, 0
+        return AckFate.DELIVER, 0
+
+    def tc_read_flips(self) -> int:
+        """Flipped bits observed by one ECC-checked TC line read:
+        0 (clean), 1 (correctable) or 2 (meaning >= 2, uncorrectable)."""
+        if self.config.tc_bit_flip_rate <= 0:
+            return 0
+        draw = self._stream("tc.read").random()
+        if draw < self._tc_p_clean:
+            return 0
+        if draw < self._tc_p_single:
+            return 1
+        return 2

@@ -21,18 +21,32 @@ Implements the policy the paper inherits from DRAMSim2 (Table 2):
 
 Writes into the NVM are additionally recorded into a
 :class:`DurableImage` timeline so crash points can be replayed exactly.
+
+When a :class:`~repro.faults.injector.FaultInjector` is attached (NVM
+controller only), two fault models run here:
+
+* **write-verify-retry** — an STT-RAM array write can fail
+  verification; the controller retries with exponential backoff up to
+  ``max_write_retries`` times, then remaps the line to a spare row
+  (``write.remaps``) so durability is never silently lost;
+* **ack fates** — an acknowledgment can be dropped, delayed, or
+  duplicated on its way to the transaction cache; the TC's ack-timeout
+  reissue mechanism (see :mod:`repro.core.accelerator`) recovers.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..common.config import MemCtrlConfig
 from ..common.event import Simulator
 from ..common.stats import ScopedStats
 from ..common.types import MemReqType, MemRequest, Version
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultInjector
 
 AckHandler = Callable[[MemRequest, int], None]
 
@@ -99,6 +113,7 @@ class MemoryController:
         freq_ghz: float,
         durable_image: Optional[DurableImage] = None,
         ack_handler: Optional[AckHandler] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         from .bank import BankArray
         from .queues import RequestQueue
@@ -109,12 +124,14 @@ class MemoryController:
         self.freq_ghz = freq_ghz
         self.durable_image = durable_image
         self.ack_handler = ack_handler
+        self.faults = faults
         self.banks = BankArray(config, freq_ghz=freq_ghz)
         self.read_queue = RequestQueue(f"{config.name}.rq", config.read_queue_entries)
         self.write_queue = RequestQueue(f"{config.name}.wq", config.write_queue_entries)
         self._drain_mode = False
         self._tick_at: Optional[int] = None
         self._inflight = 0
+        self._retries_pending = 0
         self._last_write_service = 0
 
     # ------------------------------------------------------------------
@@ -146,6 +163,7 @@ class MemoryController:
             not self.read_queue.is_empty()
             or not self.write_queue.is_empty()
             or self._inflight > 0
+            or self._retries_pending > 0
         )
 
     # ------------------------------------------------------------------
@@ -256,6 +274,26 @@ class MemoryController:
 
     def _finish_write(self, request: MemRequest) -> None:
         now = self.sim.now
+        if self.faults is not None and self.faults.nvm_write_fails():
+            attempt = request.meta.get("write_attempts", 1)
+            self.stats.inc("write.verify_failures")
+            if attempt <= self.faults.config.max_write_retries:
+                # write-verify-retry: the array write failed
+                # verification; back off exponentially and redo the
+                # bank access with the same request (same-line order
+                # is safe: the line's newest data is rewritten).
+                request.meta["write_attempts"] = attempt + 1
+                self.stats.inc("write.retries")
+                self._inflight -= 1
+                self._retries_pending += 1
+                self.sim.schedule(self.faults.write_retry_backoff(attempt),
+                                  self._retry_write, request)
+                self._kick(now + 1)
+                return
+            # Bounded retries exhausted: the cell is worn out.  Remap
+            # the line to a spare row — the write then completes, so
+            # durability is degraded (extra latency), never lost.
+            self.stats.inc("write.remaps")
         self.stats.hist("write.latency", now - request.issue_cycle)
         self._inflight -= 1
         if self.durable_image is not None:
@@ -264,5 +302,37 @@ class MemoryController:
             request.callback(request, now)
         if request.persistent and self.ack_handler is not None:
             self.stats.inc("write.acks")
-            self.ack_handler(request, now)
+            self._send_ack(request, now)
         self._kick(now + 1)
+
+    def _retry_write(self, request: MemRequest) -> None:
+        self._retries_pending -= 1
+        self._service(request)
+
+    def _send_ack(self, request: MemRequest, now: int) -> None:
+        """Deliver the completion acknowledgment, subject to the
+        injected interconnect fault model (lost / delayed / duplicated
+        messages).  Fault-free operation calls the handler inline."""
+        if self.faults is None:
+            self.ack_handler(request, now)
+            return
+        from ..faults.injector import AckFate
+
+        fate, delay = self.faults.ack_fate()
+        if fate is AckFate.DROP:
+            self.stats.inc("ack.dropped")
+            return
+        if fate is AckFate.DELAY:
+            self.stats.inc("ack.delayed")
+            self.sim.schedule(delay, self._deliver_ack, request)
+            return
+        if fate is AckFate.DUPLICATE:
+            self.stats.inc("ack.duplicated")
+            self.ack_handler(request, now)
+            self.sim.schedule(1, self._deliver_ack, request)
+            return
+        self.ack_handler(request, now)
+
+    def _deliver_ack(self, request: MemRequest) -> None:
+        if self.ack_handler is not None:
+            self.ack_handler(request, self.sim.now)

@@ -14,13 +14,16 @@ the transaction cache can drain on completion messages (paper §4.3).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from ..common.config import MachineConfig
 from ..common.event import Simulator
 from ..common.stats import Stats
 from ..common.types import MemReqType, MemRequest, MemSpace, Version, line_addr
 from .controller import AckHandler, DurableImage, MemoryController
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultInjector
 
 ReadCallback = Callable[[Optional[Version], int], None]
 
@@ -34,9 +37,14 @@ class MemorySystem:
         config: MachineConfig,
         stats: Stats,
         nvm_ack_handler: Optional[AckHandler] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.sim = sim
         self.config = config
+        #: fault injector shared with NVM-side consumers (the TC
+        #: accelerator reads it off the memory system); None in the
+        #: fault-free baseline
+        self.faults = faults
         self.durable_image = DurableImage()
         self.nvm = MemoryController(
             sim,
@@ -45,6 +53,7 @@ class MemorySystem:
             config.freq_ghz,
             durable_image=self.durable_image,
             ack_handler=nvm_ack_handler,
+            faults=faults,
         )
         self.dram = MemoryController(
             sim,
@@ -102,23 +111,25 @@ class MemorySystem:
         tx_id: Optional[int] = None,
         on_complete: Optional[Callable[[MemRequest, int], None]] = None,
         source: str = "",
+        meta: Optional[dict] = None,
     ) -> None:
         """Write one line.  Architectural contents update immediately;
         durability (and the ack, if persistent) happen at the cycle the
         controller finishes the array write."""
         line = line_addr(addr)
         self._contents[line] = version
-        self.controller_for(addr).enqueue(
-            MemRequest(
-                addr=line,
-                req_type=MemReqType.WRITE,
-                persistent=persistent,
-                tx_id=tx_id,
-                version=version,
-                callback=on_complete,
-                source=source,
-            )
+        request = MemRequest(
+            addr=line,
+            req_type=MemReqType.WRITE,
+            persistent=persistent,
+            tx_id=tx_id,
+            version=version,
+            callback=on_complete,
+            source=source,
         )
+        if meta:
+            request.meta.update(meta)
+        self.controller_for(addr).enqueue(request)
 
     # ------------------------------------------------------------------
     def busy(self) -> bool:

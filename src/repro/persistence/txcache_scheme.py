@@ -39,6 +39,7 @@ class TxCacheScheme(PersistenceScheme):
         super().__init__(sim, config, stats, hierarchy, memory)
         self.accelerator = PersistentMemoryAccelerator(sim, config, stats, memory)
         self.overflow = OverflowManager(sim, memory, stats.scoped("tc.overflow"))
+        self.accelerator.uncorrectable_handler = self._on_uncorrectable
         hierarchy.drop_persistent_evictions = True
         hierarchy.llc_probe = self._probe
         #: commit-request arrival cycle per transaction (the durability
@@ -101,11 +102,29 @@ class TxCacheScheme(PersistenceScheme):
         """Fall back to copy-on-write only for the case the paper built
         it for: a *transaction* about to exceed the TC capacity (§4.1).
         Occupancy from committed entries awaiting acknowledgments is
-        ordinary back-pressure and is handled by stalling instead."""
+        ordinary back-pressure and is handled by stalling instead.
+
+        Graceful degradation (fault injection): a TC whose observed
+        ECC error rate crossed the configured threshold is no longer
+        trusted — every new transaction runs on the COW path."""
+        if self.accelerator.degraded(core_id):
+            self.stats.inc("degraded_fallbacks")
+            return True
         if not self.accelerator.near_overflow(core_id):
             return False
         tc = self.accelerator.tcs[core_id]
         return tc.count_active(tx_id) >= tc.capacity // 4
+
+    def _on_uncorrectable(self, core_id: int, entry) -> None:
+        """An *active* TC entry read back with an uncorrectable double
+        bit error: demote its transaction to the COW path (its write
+        data is reconstructed from the P/V-flagged cache copies that
+        every transactional store also updated) instead of failing."""
+        tx_id = entry.tx_id
+        if self.overflow.is_fallback(tx_id):
+            return
+        self.stats.inc("ecc_fallbacks")
+        self._divert(core_id, tx_id)
 
     def _tc_write(self, core, tx_id: int, op, on_issue: StoreIssue) -> None:
         accepted = self.accelerator.cpu_write(
@@ -128,6 +147,12 @@ class TxCacheScheme(PersistenceScheme):
 
         # TC full: the CPU stalls until an acknowledgment frees an entry.
         def retry() -> None:
+            if self.overflow.is_fallback(tx_id):
+                # Demoted while stalled (e.g. an uncorrectable ECC
+                # error on one of its entries): continue on COW.
+                self.overflow.write(core.core_id, tx_id, op.addr, op.version)
+                on_issue(1)
+                return
             if self._should_fall_back(core.core_id, tx_id):
                 self._divert(core.core_id, tx_id)
                 self.overflow.write(core.core_id, tx_id, op.addr, op.version)

@@ -160,7 +160,24 @@ def crash_sweep(
     fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
     **kwargs,
 ) -> List[CrashReport]:
-    """Crash the same experiment at several points of its execution."""
+    """Crash the same experiment at several points of its execution.
+
+    The workload traces are generated **once** and threaded through
+    every run — regenerating them per crash fraction (the old behavior
+    when ``traces`` was not supplied) wasted a full trace-generation
+    pass per point for identical traces."""
+    if kwargs.get("traces") is None:
+        config = kwargs.get("config")
+        num_cores = (config.num_cores if config is not None
+                     else kwargs.get("num_cores", 1))
+        workload_params = {
+            name: value for name, value in kwargs.items()
+            if name not in ("config", "num_cores", "operations", "seed",
+                            "traces")
+        }
+        kwargs["traces"] = make_traces(
+            workload, num_cores, kwargs.get("operations", 50),
+            seed=kwargs.get("seed", 42), **workload_params)
     total = measure_run_length(workload, scheme, **kwargs)
     reports = []
     for fraction in fractions:

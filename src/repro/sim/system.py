@@ -28,7 +28,16 @@ class System:
         self.config = config
         self.sim = Simulator()
         self.stats = Stats()
-        self.memory = MemorySystem(self.sim, config, self.stats)
+        # Fault injection: constructed only when some fault can fire,
+        # so the all-zero-rates default is a strict no-op (no injector,
+        # no extra events, bit-identical baseline results).
+        self.faults = None
+        if config.faults.enabled:
+            from ..faults.injector import FaultInjector
+
+            self.faults = FaultInjector(config.faults)
+        self.memory = MemorySystem(self.sim, config, self.stats,
+                                   faults=self.faults)
         self.hierarchy = CacheHierarchy(self.sim, config, self.stats, self.memory)
         self.scheme: PersistenceScheme = create_scheme(
             scheme_name, self.sim, config, self.stats,

@@ -1,0 +1,80 @@
+"""Regression: clwb must not leave stale clean copies in L2/LLC.
+
+Found by hypothesis (``test_architectural_state_identical_across_
+schemes``): under SP, a ``clwb`` pushed the newest version to memory
+and marked every cached copy clean — but left the *old* version in the
+L2/LLC copies.  The L1 copy (holding the newest data, now clean) could
+then be silently evicted by set pressure, after which the architectural
+state appeared to roll back to the stale L2 copy.  A clean copy must
+agree with what was made durable; ``writeback_line`` (clwb) and
+``flush_to_llc`` (Kiln commit) now refresh the copies they clean.
+"""
+
+from repro.common.types import NVM_BASE, Version
+from repro.cpu.trace import OpType, Trace, TraceOp
+from repro.sim.system import System
+
+LINE_A = NVM_BASE            # distinct cache sets
+LINE_B = NVM_BASE + 320
+
+
+def tx(tx_id, stores):
+    ops = [TraceOp(OpType.TX_BEGIN, tx_id=tx_id)]
+    for seq, addr in enumerate(stores):
+        ops.append(TraceOp(OpType.STORE, addr=addr, tx_id=tx_id,
+                           version=Version(tx_id, seq)))
+    ops.append(TraceOp(OpType.TX_END, tx_id=tx_id))
+    return ops
+
+
+def build_trace():
+    # tx 1 populates both lines (stale copies propagate to L2/LLC on
+    # later evictions); tx 4 rewrites LINE_B; the tail of single-line
+    # transactions to LINE_A plus volatile loads creates the set
+    # pressure that silently evicts LINE_B's clean L1 copy.
+    ops = []
+    ops += tx(1, [LINE_B, LINE_A])
+    ops += tx(2, [LINE_A])
+    ops += tx(3, [LINE_A])
+    ops += [TraceOp(OpType.LOAD, addr=1048576), TraceOp(OpType.COMPUTE,
+                                                        count=1)]
+    ops += tx(4, [LINE_A, LINE_A, LINE_A, LINE_A, LINE_B])
+    ops += [TraceOp(OpType.LOAD, addr=1048576)]
+    ops += tx(5, [LINE_A])
+    ops += [TraceOp(OpType.LOAD, addr=1048576)]
+    ops += tx(6, [LINE_A, LINE_A])
+    ops += tx(7, [LINE_A] * 6)
+    ops += tx(8, [LINE_A])
+    ops += tx(9, [LINE_A])
+    ops += tx(10, [LINE_A])
+    ops += [TraceOp(OpType.LOAD, addr=1048576),
+            TraceOp(OpType.LOAD, addr=1049920)]
+    ops += tx(11, [LINE_A])
+    ops += [TraceOp(OpType.LOAD, addr=1048896)]
+    return Trace("clwb-stale", ops)
+
+
+def run(scheme):
+    system = System.build(scheme, num_cores=1)
+    system.load_traces([build_trace()])
+    system.run(max_events=2_000_000)
+    return system
+
+
+class TestClwbStaleness:
+    def test_all_schemes_agree_on_final_state(self):
+        final = {scheme: {line: run(scheme).hierarchy.newest_version(0, line)
+                          for line in (LINE_A, LINE_B)}
+                 for scheme in ("optimal", "sp", "kiln", "txcache")}
+        assert final["optimal"] == final["sp"] == final["kiln"] == \
+            final["txcache"]
+        assert final["optimal"][LINE_B] == Version(4, 4)
+
+    def test_clwb_refreshes_every_cached_copy(self):
+        system = run("sp")
+        hierarchy = system.hierarchy
+        for level in (hierarchy.l1[0], hierarchy.l2[0], hierarchy.llc):
+            entry = level.probe(LINE_B)
+            if entry is not None:
+                assert entry.version == Version(4, 4), (
+                    f"stale clean copy in {level.name}")

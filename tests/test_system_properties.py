@@ -115,6 +115,68 @@ class TestControllerCompleteness:
         assert not memory.busy()
 
 
+class TestDeterminism:
+    """Same seed → same simulation, bit for bit — including under fault
+    injection, whose draws come from seeded per-site streams, and under
+    crash injection, whose reports must be reproducible artifacts."""
+
+    FAULTY = dict(seed=11, nvm_write_fail_rate=1e-2, ack_loss_rate=1e-2,
+                  ack_duplicate_rate=1e-2, tc_bit_flip_rate=1e-3,
+                  ack_timeout_cycles=500)
+
+    def _run(self, fault_kwargs):
+        from dataclasses import replace
+
+        from repro.common.config import FaultConfig
+        from repro.sim.runner import make_traces
+
+        config = replace(small_machine_config(num_cores=2),
+                         faults=FaultConfig(**fault_kwargs))
+        system = System(config, "txcache")
+        system.load_traces(make_traces("hashtable", 2, 40, seed=5))
+        system.run(max_events=5_000_000)
+        return system
+
+    def test_identical_stats_dumps_fault_free(self):
+        first, second = self._run({}), self._run({})
+        assert first.sim.now == second.sim.now
+        assert first.stats.as_dict() == second.stats.as_dict()
+
+    def test_identical_stats_dumps_under_fault_injection(self):
+        first, second = self._run(self.FAULTY), self._run(self.FAULTY)
+        # sanity: faults actually fired in this configuration
+        assert first.stats.counter("mem.nvm.write.verify_failures") > 0
+        assert first.sim.now == second.sim.now
+        assert first.stats.as_dict() == second.stats.as_dict()
+
+    def test_identical_crash_reports_under_fault_injection(self):
+        from dataclasses import replace
+
+        from repro.common.config import FaultConfig
+        from repro.sim.crash import run_with_crash
+
+        config = replace(small_machine_config(num_cores=1),
+                         faults=FaultConfig(**self.FAULTY))
+        reports = [run_with_crash("sps", "txcache", 4000, config=config,
+                                  operations=40, seed=5)
+                   for _ in range(2)]
+        assert reports[0] == reports[1]
+
+    def test_identical_chaos_reports(self):
+        from repro.common.config import FaultConfig
+        from repro.sim.chaos import chaos_sweep
+
+        fault_config = FaultConfig(seed=1, nvm_write_fail_rate=1e-2,
+                                   ack_loss_rate=1e-2,
+                                   tc_bit_flip_rate=1e-3,
+                                   ack_timeout_cycles=500)
+        sweeps = [chaos_sweep(["sps"], fault_config=fault_config,
+                              fractions=(0.3, 0.7), operations=25)
+                  for _ in range(2)]
+        assert sweeps[0].runs == sweeps[1].runs
+        assert sweeps[0].format() == sweeps[1].format()
+
+
 class TestInclusionProperty:
     @given(trace=small_traces())
     @settings(max_examples=30, deadline=None)

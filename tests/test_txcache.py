@@ -207,6 +207,78 @@ class TestRecoveryView:
         assert [e.tx_id for e in tc.active_entries()] == [2]
 
 
+class TestDuplicateAndUnmatchedAcks:
+    """The ack path must be idempotent: the interconnect may drop,
+    delay or duplicate acks, and the accelerator reissues on timeout —
+    so the same (line, seq) ack can legally arrive twice."""
+
+    def issued_entry(self, tc):
+        tc.write(1, line(0), Version(1, 0))
+        tc.commit(1)
+        (entry,) = tc.take_issuable()
+        return entry
+
+    def test_duplicate_ack_never_frees_a_second_entry(self):
+        tc = make_tc()
+        entry = self.issued_entry(tc)
+        assert tc.ack(line(0), seq=entry.seq) is entry
+        assert tc.occupancy == 0
+        # the duplicate: nothing to free, idempotent drop
+        assert tc.ack(line(0), seq=entry.seq) is None
+        assert tc.occupancy == 0
+        tc.check_invariants()
+
+    def test_duplicate_ack_cannot_free_a_younger_reuse_of_the_line(self):
+        tc = make_tc()
+        first = self.issued_entry(tc)
+        tc.ack(line(0), seq=first.seq)
+        # the line is reused by a younger transaction, not yet issued
+        tc.write(2, line(0), Version(2, 0))
+        tc.commit(2)
+        # a stale duplicate of tx 1's ack arrives: seq does not match
+        assert tc.ack(line(0), seq=first.seq) is None
+        assert tc.occupancy == 1
+        tc.check_invariants()
+
+    def test_seqless_ack_keeps_legacy_nearest_tail_match(self):
+        tc = make_tc()
+        entry = self.issued_entry(tc)
+        assert tc.ack(line(0)) is entry
+
+    def test_unmatched_ack_surfaces_warning_event(self):
+        tc = make_tc()
+        entry = self.issued_entry(tc)
+        tc.ack(line(0), seq=entry.seq)
+        tc.ack(line(0), seq=entry.seq)  # duplicate
+        assert tc.stats.counter("ack.unmatched") == 1
+        events = tc.stats.events("ack.unmatched")
+        assert len(events) == 1
+        assert "idempotent drop" in events[0]
+
+    def test_invariants_hold_under_ack_storm(self):
+        tc = make_tc(entries=4)
+        for i in range(3):
+            tc.write(1, line(i), Version(1, i))
+        tc.commit(1)
+        issued = tc.take_issuable()
+        # deliver every ack three times, out of order
+        for _ in range(3):
+            for entry in reversed(issued):
+                tc.ack(entry.tag, seq=entry.seq)
+                tc.check_invariants()
+                assert tc.tail_seq <= tc.head_seq
+                assert tc.occupancy <= tc.capacity
+        assert tc.occupancy == 0
+        assert tc.stats.counter("ack.unmatched") == 6
+
+    def test_check_invariants_catches_corruption(self):
+        tc = make_tc()
+        tc.write(1, line(0), Version(1, 0))
+        tc._head_seq = -5  # corrupt: head behind tail
+        with pytest.raises(AssertionError):
+            tc.check_invariants()
+
+
 class TestHardwareOverhead:
     def test_table1_txid_bits(self):
         config = paper_machine_config()

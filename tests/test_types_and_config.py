@@ -114,6 +114,65 @@ class TestPaperConfig:
         assert "80% full" in rows["Memory Controllers"]
 
 
+class TestConfigValidation:
+    """Invalid configurations must fail loudly at construction time,
+    with messages that name the offending field and value."""
+
+    def test_overflow_threshold_range(self):
+        from repro.common.config import TxCacheConfig
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="overflow_threshold"):
+                TxCacheConfig(size_bytes=4096, overflow_threshold=bad)
+        # boundary: exactly 1.0 is legal (overflow only when full)
+        assert TxCacheConfig(size_bytes=4096,
+                             overflow_threshold=1.0).num_entries == 64
+
+    def test_freq_must_be_positive(self):
+        from repro.common.config import CoreConfig
+        for bad in (0.0, -2.0):
+            with pytest.raises(ValueError, match="freq_ghz"):
+                CoreConfig(freq_ghz=bad)
+
+    def test_fault_rates_must_be_probabilities(self):
+        from repro.common.config import FaultConfig
+        for field in ("nvm_write_fail_rate", "ack_loss_rate",
+                      "ack_delay_rate", "ack_duplicate_rate",
+                      "tc_bit_flip_rate", "degrade_error_rate"):
+            with pytest.raises(ValueError, match=field):
+                FaultConfig(**{field: 1.5})
+            with pytest.raises(ValueError, match=field):
+                FaultConfig(**{field: -0.01})
+
+    def test_ack_fates_must_not_exceed_certainty(self):
+        from repro.common.config import FaultConfig
+        with pytest.raises(ValueError, match="ack"):
+            FaultConfig(ack_loss_rate=0.5, ack_delay_rate=0.4,
+                        ack_duplicate_rate=0.2)
+
+    def test_fault_counts_and_cycles(self):
+        from repro.common.config import FaultConfig
+        with pytest.raises(ValueError, match="max_write_retries"):
+            FaultConfig(max_write_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff_cycles"):
+            FaultConfig(retry_backoff_cycles=0)
+        with pytest.raises(ValueError, match="ack_timeout_cycles"):
+            FaultConfig(ack_timeout_cycles=0)
+
+    def test_enabled_reflects_any_nonzero_rate(self):
+        from repro.common.config import FaultConfig
+        assert not FaultConfig().enabled
+        assert not FaultConfig(seed=42).enabled  # seed alone is inert
+        assert FaultConfig(nvm_write_fail_rate=1e-6).enabled
+        assert FaultConfig(ack_delay_rate=0.1).enabled
+        assert FaultConfig(tc_bit_flip_rate=1e-9).enabled
+
+    def test_machine_config_carries_fault_config(self):
+        from repro.common.config import FaultConfig
+        cfg = small_machine_config()
+        assert cfg.faults == FaultConfig()
+        assert not cfg.faults.enabled
+
+
 class TestCacheLevelConfig:
     def test_sets_computed(self):
         cfg = CacheLevelConfig("l1", 32 * 1024, 4, 0.5)

@@ -37,10 +37,11 @@ class TestValidateConfig:
         assert not report.ok
 
     def test_bad_overflow_threshold(self):
+        # now rejected at construction time (config validation), before
+        # validate_config can even see it
         base = small_machine_config()
-        config = replace(base, txcache=replace(base.txcache,
-                                               overflow_threshold=1.5))
-        assert not validate_config(config).ok
+        with pytest.raises(ValueError, match="overflow_threshold"):
+            replace(base.txcache, overflow_threshold=1.5)
 
     def test_oversized_issue_window_warns(self):
         base = small_machine_config(num_cores=4)
