@@ -1,0 +1,73 @@
+"""Extension — parallel experiment engine: cold vs warm cache.
+
+The engine's value on a small box is the cache, not the pool: a warm
+re-run of a figure grid must re-simulate *zero* points and return
+results identical to the cold run.  This bench runs a 12-point
+(workload × scheme) grid cold, then warm on the same cache directory,
+and reports the wall-clock ratio.
+
+Parallel speedup (>1 worker) is intentionally *not* asserted — CI
+containers may expose a single CPU, where pooling only adds fork
+overhead.  Correctness of the pooled path (identical merged output)
+is locked down by tests/test_parallel_engine.py instead.
+"""
+
+import time
+
+from repro.common.config import small_machine_config
+from repro.sim.parallel import ExperimentEngine, ExperimentPoint
+
+WORKLOADS = ("sps", "hashtable", "btree")
+SCHEMES = ("sp", "txcache", "kiln", "optimal")
+OPS = 60
+
+
+def build_points():
+    config = small_machine_config(num_cores=2)
+    return [ExperimentPoint(workload, scheme, config, operations=OPS)
+            for workload in WORKLOADS for scheme in SCHEMES]
+
+
+def timed_run(engine, points):
+    start = time.perf_counter()
+    results = engine.run(points)
+    return results, time.perf_counter() - start
+
+
+def test_cache_warm_rerun(benchmark, save_output, tmp_path):
+    points = build_points()
+    cache_dir = tmp_path / "engine-cache"
+
+    cold_engine = ExperimentEngine(jobs=1, cache_dir=cache_dir)
+    cold, cold_seconds = timed_run(cold_engine, points)
+
+    def warm_run():
+        engine = ExperimentEngine(jobs=1, cache_dir=cache_dir)
+        results, seconds = timed_run(engine, points)
+        return engine, results, seconds
+
+    warm_engine, warm, warm_seconds = benchmark.pedantic(
+        warm_run, rounds=1, iterations=1)
+
+    # the acceptance criterion: zero re-simulated points on a warm run
+    assert warm_engine.stats.counter("engine.executed") == 0
+    assert warm_engine.stats.counter("engine.cache.hits") == len(points)
+    assert [r.to_dict(include_raw=True) for r in cold] == \
+        [r.to_dict(include_raw=True) for r in warm]
+    assert warm_seconds < cold_seconds
+
+    text = "\n".join([
+        f"Parallel engine cache: {len(points)}-point grid "
+        f"({len(WORKLOADS)} workloads x {len(SCHEMES)} schemes, "
+        f"ops={OPS}, 2 cores):",
+        f"  cold run : {cold_seconds:.2f}s  "
+        f"(executed={cold_engine.stats.counter('engine.executed'):.0f})",
+        f"  warm run : {warm_seconds * 1000:.0f}ms  "
+        f"(hits={warm_engine.stats.counter('engine.cache.hits'):.0f}, "
+        f"executed=0)",
+        f"  speedup  : {cold_seconds / warm_seconds:.0f}x",
+        cold_engine.summary(),
+        warm_engine.summary(),
+    ])
+    save_output("parallel_engine.txt", text)
+    print("\n" + text)

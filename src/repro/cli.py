@@ -6,6 +6,8 @@ Commands
 ``run``      run one (workload, scheme) experiment and print metrics.
 ``compare``  run one workload under all four schemes, normalized.
 ``figures``  regenerate Figures 6-10 over the Table 3 workloads.
+``sweep``    run a ready-made parameter sweep (TC size, LLC size, NVM
+             write latency) over one (workload, scheme).
 ``crash``    crash-inject one experiment at several points and report
              recovery consistency.
 ``chaos``    crash injection × fault injection (imperfect NVM, lossy
@@ -14,6 +16,13 @@ Commands
 ``trace``    generate a workload trace, print its statistics, and
              optionally dump it to a file.
 ``workloads``  list registered workloads.
+
+Grid-shaped commands (``sweep``, ``figures``, ``crash``, ``chaos``)
+accept ``--jobs N`` to fan independent experiment points out over a
+process pool and ``--cache-dir DIR`` to memoize finished points on
+disk (``--no-cache`` bypasses a configured cache).  Parallel and
+cached runs produce byte-identical output to serial ones; the engine
+prints a ``hits=``/``executed=`` summary to stderr.
 """
 
 from __future__ import annotations
@@ -39,9 +48,17 @@ from .sim.report import (
     format_table3,
 )
 from .sim.runner import run_comparison, run_experiment
+from .sim.sweep import llc_size_sweep, nvm_write_latency_sweep, tc_size_sweep
 from .workloads import PAPER_WORKLOADS, WORKLOADS, create_workload
 
 SCHEME_CHOICES = [scheme.value for scheme in SchemeName]
+
+#: name → (ready-made sweep factory, knob value parser) for ``sweep``
+READY_SWEEPS = {
+    "tc_size": (tc_size_sweep, int),
+    "llc_size": (llc_size_sweep, int),
+    "nvm_write_latency": (nvm_write_latency_sweep, float),
+}
 
 
 def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
@@ -50,6 +67,24 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=4,
                         help="number of cores (default 4)")
     parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent experiment "
+                             "points (default 1 = in-process serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk result cache; "
+                             "already-computed points are skipped")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write --cache-dir")
+
+
+def _engine_from_args(args):
+    from .sim.parallel import ExperimentEngine
+
+    return ExperimentEngine(jobs=args.jobs, cache_dir=args.cache_dir,
+                            use_cache=not args.no_cache)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +111,21 @@ def build_parser() -> argparse.ArgumentParser:
     figures_parser = sub.add_parser("figures",
                                     help="regenerate Figures 6-10")
     _add_common_run_args(figures_parser)
+    _add_engine_args(figures_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a ready-made parameter sweep")
+    sweep_parser.add_argument("sweep_name", metavar="SWEEP",
+                              choices=sorted(READY_SWEEPS),
+                              help=f"one of: {', '.join(sorted(READY_SWEEPS))}")
+    sweep_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    sweep_parser.add_argument("scheme", choices=SCHEME_CHOICES)
+    sweep_parser.add_argument("--values", nargs="+",
+                              help="override the sweep's default knob values")
+    _add_common_run_args(sweep_parser)
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON")
+    _add_engine_args(sweep_parser)
 
     crash_parser = sub.add_parser("crash", help="crash-injection sweep")
     crash_parser.add_argument("workload", choices=sorted(WORKLOADS))
@@ -87,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fractions", type=float, nargs="+",
         default=[0.1, 0.25, 0.5, 0.75, 0.9],
         help="crash points as fractions of the uninterrupted run")
+    _add_engine_args(crash_parser)
 
     chaos_parser = sub.add_parser(
         "chaos", help="fault-injection chaos sweep (crash x faults)")
@@ -113,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fractions", type=float, nargs="+",
         default=[0.1, 0.25, 0.5, 0.75, 0.9],
         help="crash points as fractions of the fault-free run")
+    _add_engine_args(chaos_parser)
 
     trace_parser = sub.add_parser("trace", help="generate a trace")
     trace_parser.add_argument("workload", choices=sorted(WORKLOADS))
@@ -205,20 +257,28 @@ def cmd_compare(args) -> int:
 
 
 def cmd_figures(args) -> int:
+    from .sim.parallel import ExperimentPoint
+    from .sim.runner import ALL_SCHEMES
+
+    engine = _engine_from_args(args)
     config = small_machine_config(num_cores=args.cores)
-    grid = {}
-    for workload in PAPER_WORKLOADS:
-        print(f"running {workload}...", file=sys.stderr)
-        grid[workload] = run_comparison(workload, config=config,
-                                        operations=args.operations,
-                                        seed=args.seed)
     pressure = config.scaled_llc(128 * 1024)
-    pressure_grid = {}
-    for workload in PAPER_WORKLOADS:
-        print(f"running {workload} (reuse regime)...", file=sys.stderr)
-        pressure_grid[workload] = run_comparison(
-            workload, config=pressure, operations=args.operations,
-            seed=args.seed)
+    points = [
+        ExperimentPoint(workload, scheme.value, grid_config,
+                        operations=args.operations, seed=args.seed)
+        for grid_config in (config, pressure)
+        for workload in PAPER_WORKLOADS
+        for scheme in ALL_SCHEMES
+    ]
+    print(f"running {len(points)} experiment points "
+          f"(jobs={engine.jobs})...", file=sys.stderr)
+    results = iter(engine.run(points))
+    grid = {workload: {scheme: next(results) for scheme in ALL_SCHEMES}
+            for workload in PAPER_WORKLOADS}
+    pressure_grid = {workload: {scheme: next(results)
+                                for scheme in ALL_SCHEMES}
+                     for workload in PAPER_WORKLOADS}
+    print(engine.summary(), file=sys.stderr)
     for title, figure, source in (
             ("Figure 6: IPC", figure6_ipc, grid),
             ("Figure 7: Throughput", figure7_throughput, grid),
@@ -232,11 +292,32 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    factory, parse_value = READY_SWEEPS[args.sweep_name]
+    sweep = (factory(tuple(parse_value(v) for v in args.values))
+             if args.values else factory())
+    engine = _engine_from_args(args)
+    config = small_machine_config(num_cores=args.cores)
+    try:
+        outcome = sweep.run(args.workload, args.scheme, base_config=config,
+                            operations=args.operations, seed=args.seed,
+                            engine=engine)
+    except ValueError as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        return 2
+    print(outcome.to_json() if args.json else outcome.format())
+    print(engine.summary(), file=sys.stderr)
+    return 0
+
+
 def cmd_crash(args) -> int:
+    engine = _engine_from_args(args)
     reports = crash_sweep(args.workload, args.scheme,
                           fractions=args.fractions,
                           operations=args.operations,
-                          num_cores=args.cores, seed=args.seed)
+                          num_cores=args.cores, seed=args.seed,
+                          engine=engine)
+    print(engine.summary(), file=sys.stderr)
     failures = 0
     for report in reports:
         status = "CONSISTENT" if report.consistent else "TORN"
@@ -269,10 +350,13 @@ def cmd_chaos(args) -> int:
     except ValueError as error:
         print(f"repro chaos: error: {error}", file=sys.stderr)
         return 2
+    engine = _engine_from_args(args)
     report = chaos_sweep(
         args.chaos_workloads, schemes=args.schemes,
         fault_config=fault_config, fractions=args.fractions,
-        num_cores=args.cores, operations=args.operations, seed=args.seed)
+        num_cores=args.cores, operations=args.operations, seed=args.seed,
+        engine=engine)
+    print(engine.summary(), file=sys.stderr)
     print(report.format())
     torn = report.total_runs - report.survived
     # Optimal guarantees nothing, so its torn runs are expected; any
@@ -339,6 +423,7 @@ COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "figures": cmd_figures,
+    "sweep": cmd_sweep,
     "crash": cmd_crash,
     "chaos": cmd_chaos,
     "trace": cmd_trace,

@@ -20,6 +20,9 @@ figures from the paper are converted at the configured core frequency.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
@@ -306,6 +309,21 @@ class MachineConfig:
         whole; experiments that need LLC pressure scale it down while
         keeping associativity and latency."""
         return replace(self, llc=replace(self.llc, size_bytes=size_bytes))
+
+
+def config_fingerprint(config: MachineConfig) -> str:
+    """Stable content hash of a machine configuration.
+
+    Serializes the (nested, frozen) dataclass tree to canonical JSON —
+    sorted keys, exact float repr — and hashes it, so two configs get
+    the same fingerprint iff every knob is equal.  Used as the config
+    component of the experiment-cache key
+    (:mod:`repro.sim.parallel`): any knob change, however deep
+    (a fault rate, a row-buffer size), produces a different key and
+    therefore a cache miss instead of a stale result.
+    """
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def paper_machine_config() -> MachineConfig:

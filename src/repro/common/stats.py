@@ -15,7 +15,9 @@ and the registry stores ``l1.0.hit``.
 
 from __future__ import annotations
 
+import contextlib
 import logging
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Tuple
 
@@ -156,6 +158,19 @@ class Stats:
     def percentile(self, name: str, fraction: float) -> float:
         return self.histogram(name).percentile(fraction)
 
+    # -- wall-clock timing ---------------------------------------------
+    @contextlib.contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Measure the wall-clock seconds of a ``with`` block into
+        histogram ``name`` (sum/count/min/max via the paired sample
+        summary).  Used for *host* measurements — per-experiment-point
+        wall time in the parallel engine — never for simulated time."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.hist(name, time.perf_counter() - start)
+
     # -- bulk access ---------------------------------------------------
     def counters(self, prefix: str = "") -> Dict[str, float]:
         """All counters whose name starts with ``prefix``."""
@@ -213,6 +228,9 @@ class ScopedStats:
 
     def hist(self, name: str, value: float) -> None:
         self._parent.hist(self._name(name), value)
+
+    def timer(self, name: str):
+        return self._parent.timer(self._name(name))
 
     def histogram(self, name: str):
         return self._parent.histogram(self._name(name))

@@ -62,6 +62,32 @@ class ChaosRun:
     def consistent(self) -> bool:
         return not self.violations
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (for the parallel engine's cache)."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme.value,
+            "crash_cycle": self.crash_cycle,
+            "total_cycles": self.total_cycles,
+            "committed": self.committed,
+            "recovered_lines": self.recovered_lines,
+            "violations": list(self.violations),
+            "fault_stats": dict(self.fault_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosRun":
+        return cls(
+            workload=str(data["workload"]),
+            scheme=SchemeName.parse(data["scheme"]),
+            crash_cycle=int(data["crash_cycle"]),
+            total_cycles=int(data["total_cycles"]),
+            committed=int(data["committed"]),
+            recovered_lines=int(data["recovered_lines"]),
+            violations=list(data["violations"]),
+            fault_stats=dict(data["fault_stats"]),
+        )
+
 
 @dataclass
 class ChaosReport:
@@ -178,34 +204,77 @@ def chaos_sweep(
     num_cores: int = 1,
     operations: int = 40,
     seed: int = 42,
+    engine=None,
 ) -> ChaosReport:
     """Sweep fault injection × crash fractions × schemes × workloads.
 
     Crash points are placed as fractions of each experiment's
     *fault-free* run length, so a sweep at different fault rates
     crashes at comparable execution points; traces are generated once
-    per workload and shared by every run.
+    per workload and shared by every run (engine-driven runs
+    regenerate them per point from the same seed — identical traces).
 
     Each run gets its own fault seed (``fault_config.seed`` + run
     index) so the sweep explores distinct fault timings instead of
     replaying one draw sequence 5×N times — while staying exactly
     reproducible for a given base seed.
+
+    Every per-run config (machine geometry + derived fault seed) is
+    materialized and validated up front, so a bad knob raises before
+    any point simulates.  ``engine`` — an optional
+    :class:`~repro.sim.parallel.ExperimentEngine` — fans the fault-free
+    run-length measurements and then the crash runs out over its
+    worker pool.
     """
     fault_config = fault_config or FaultConfig()
     base = config or small_machine_config(num_cores=num_cores)
     clean = replace(base, faults=FaultConfig())
+    scheme_names = [SchemeName.parse(scheme) for scheme in schemes]
+    # fail fast: build every run's config (replace() re-runs the
+    # FaultConfig validators) and check the machine geometry once,
+    # before the first — potentially minutes-long — simulation
+    from .validate import require_valid_config
+
+    require_valid_config(base, context="chaos sweep config")
+    total_runs = len(workloads) * len(scheme_names) * len(fractions)
+    faulty_configs = [
+        replace(base, faults=replace(fault_config,
+                                     seed=fault_config.seed + index))
+        for index in range(total_runs)
+    ]
     report = ChaosReport(fault_config=fault_config)
+
+    if engine is not None:
+        from .parallel import ChaosPoint, RunLengthPoint
+
+        measures = [RunLengthPoint(workload, scheme.value, clean,
+                                   operations=operations, seed=seed)
+                    for workload in workloads for scheme in scheme_names]
+        totals = engine.run(measures)
+        points = []
+        run_index = 0
+        for (workload, scheme), total in zip(
+                ((w, s) for w in workloads for s in scheme_names), totals):
+            for fraction in fractions:
+                crash_cycle = max(1, int(total * fraction))
+                points.append(ChaosPoint(
+                    workload, scheme.value, crash_cycle, total,
+                    faulty_configs[run_index], operations=operations,
+                    seed=seed))
+                run_index += 1
+        report.runs = engine.run(points)
+        return report
+
     run_index = 0
     for workload in workloads:
         traces = make_traces(workload, base.num_cores, operations,
                              seed=seed)
-        for scheme in schemes:
+        for scheme in scheme_names:
             total = measure_run_length(workload, scheme, config=clean,
                                        traces=traces)
             for fraction in fractions:
                 crash_cycle = max(1, int(total * fraction))
-                faulty = replace(base, faults=replace(
-                    fault_config, seed=fault_config.seed + run_index))
+                faulty = faulty_configs[run_index]
                 run_index += 1
                 report.runs.append(run_chaos_crash(
                     workload, scheme, crash_cycle, traces, faulty,

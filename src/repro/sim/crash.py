@@ -86,6 +86,33 @@ class CrashReport:
     def consistent(self) -> bool:
         return not self.violations
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (``committed`` as a sorted list so
+        the output is deterministic and round-trips as a set)."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme.value,
+            "crash_cycle": self.crash_cycle,
+            "total_cycles": self.total_cycles,
+            "committed": sorted(self.committed),
+            "program_committed": self.program_committed,
+            "recovered_lines": self.recovered_lines,
+            "violations": list(self.violations),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CrashReport":
+        return cls(
+            workload=str(data["workload"]),
+            scheme=SchemeName.parse(data["scheme"]),
+            crash_cycle=int(data["crash_cycle"]),
+            total_cycles=int(data["total_cycles"]),
+            committed=set(data["committed"]),
+            program_committed=int(data["program_committed"]),
+            recovered_lines=int(data["recovered_lines"]),
+            violations=list(data["violations"]),
+        )
+
 
 def measure_run_length(
     workload: str,
@@ -158,6 +185,7 @@ def crash_sweep(
     workload: str,
     scheme: Union[str, SchemeName],
     fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
+    engine=None,
     **kwargs,
 ) -> List[CrashReport]:
     """Crash the same experiment at several points of its execution.
@@ -165,7 +193,38 @@ def crash_sweep(
     The workload traces are generated **once** and threaded through
     every run — regenerating them per crash fraction (the old behavior
     when ``traces`` was not supplied) wasted a full trace-generation
-    pass per point for identical traces."""
+    pass per point for identical traces.
+
+    ``engine`` (an optional :class:`~repro.sim.parallel.ExperimentEngine`)
+    fans the per-fraction crash runs out over its worker pool instead;
+    workers regenerate the (deterministic) traces locally, so reports
+    are identical to the serial path's.
+    """
+    if engine is not None:
+        if kwargs.pop("traces", None) is not None:
+            raise ValueError(
+                "engine-driven crash sweeps regenerate traces per point; "
+                "pass seed/operations instead of traces")
+        from .parallel import CrashPoint, RunLengthPoint, make_params
+        from .validate import require_valid_config
+
+        config = kwargs.pop("config", None) or small_machine_config(
+            num_cores=kwargs.pop("num_cores", 1))
+        kwargs.pop("num_cores", None)
+        operations = kwargs.pop("operations", 50)
+        seed = kwargs.pop("seed", 42)
+        params = make_params(kwargs)
+        require_valid_config(config, context="crash sweep config")
+        scheme_value = SchemeName.parse(scheme).value
+        total = engine.run([RunLengthPoint(
+            workload, scheme_value, config, operations=operations,
+            seed=seed, workload_params=params)])[0]
+        points = [CrashPoint(workload, scheme_value,
+                             max(1, int(total * fraction)), total, config,
+                             operations=operations, seed=seed,
+                             workload_params=params)
+                  for fraction in fractions]
+        return engine.run(points)
     if kwargs.get("traces") is None:
         config = kwargs.get("config")
         num_cores = (config.num_cores if config is not None

@@ -1,0 +1,418 @@
+"""Parallel experiment engine with an on-disk result cache.
+
+Every figure, ablation, sweep, and chaos run in this repo is a grid of
+*independent* experiment points — a point is fully described by
+``(workload, scheme, machine config, operation count, seed)`` plus the
+point kind (plain run, crash run, chaos run, run-length measurement).
+This module fans such grids out over a :class:`ProcessPoolExecutor`
+and memoizes finished points on disk, so re-running the figure
+pipeline or a CI sweep skips everything already computed.
+
+Determinism contract
+--------------------
+Parallel output is **bit-identical** to serial output:
+
+* every point regenerates its own traces from the spec (workload
+  generators are pure functions of ``(name, core_id, seed, params)``),
+  so workers share nothing and ordering between workers cannot matter;
+* workers return JSON-serializable payloads
+  (:meth:`SimulationResult.to_dict` and friends), merged **by point
+  key** in the caller's submission order — completion order never
+  touches the output;
+* payloads round-trip exactly: Python's JSON encoder writes floats at
+  full ``repr`` precision, so a cached/deserialized result compares
+  equal, field for field, to a freshly simulated one.
+
+Cache key
+---------
+``sha256(kind, code version, workload, scheme, config fingerprint,
+operations, seed, workload params)`` — the config fingerprint
+(:func:`repro.common.config.config_fingerprint`) covers every knob of
+the nested config tree, fault rates included, and
+:data:`CACHE_SCHEMA_VERSION` is bumped whenever the timing model or
+result schema changes, invalidating stale caches wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.config import MachineConfig, config_fingerprint
+from ..common.stats import Stats
+from .runner import SimulationResult, run_experiment
+
+#: Bump whenever the timing model or a result schema changes in a way
+#: that makes previously cached payloads wrong.  Folded into every
+#: cache key together with the package version.
+CACHE_SCHEMA_VERSION = 1
+
+WorkloadParams = Tuple[Tuple[str, object], ...]
+
+
+def _code_version() -> str:
+    try:
+        from .. import __version__
+    except ImportError:  # pragma: no cover - package always has one
+        __version__ = "unknown"
+    return f"{__version__}+schema{CACHE_SCHEMA_VERSION}"
+
+
+def point_key(kind: str, spec: Dict[str, object]) -> str:
+    """Stable hex digest identifying one experiment point."""
+    blob = json.dumps({"kind": kind, "code": _code_version(),
+                       "spec": spec}, sort_keys=True)
+    return sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _params_dict(params: WorkloadParams) -> Dict[str, object]:
+    return dict(params)
+
+
+def make_params(params: Dict[str, object]) -> WorkloadParams:
+    """Normalize a workload-parameter dict into the sorted tuple form
+    point specs use (hashable, picklable, order-independent)."""
+    return tuple(sorted(params.items()))
+
+
+# ---------------------------------------------------------------------------
+# point kinds
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One full (workload, scheme, config, seed) simulation."""
+
+    workload: str
+    scheme: str                      # SchemeName.value
+    config: MachineConfig
+    operations: int = 300
+    seed: int = 42
+    workload_params: WorkloadParams = ()
+
+    kind = "experiment"
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "config": config_fingerprint(self.config),
+            "operations": self.operations,
+            "seed": self.seed,
+            "workload_params": [list(pair) for pair in self.workload_params],
+        }
+
+    @property
+    def key(self) -> str:
+        return point_key(self.kind, self.spec())
+
+    def execute(self) -> Dict[str, object]:
+        result = run_experiment(
+            self.workload, self.scheme, config=self.config,
+            operations=self.operations, seed=self.seed,
+            **_params_dict(self.workload_params))
+        return result.to_dict(include_raw=True)
+
+    @staticmethod
+    def deserialize(payload: Dict[str, object]) -> SimulationResult:
+        return SimulationResult.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class RunLengthPoint:
+    """Cycle count of an uninterrupted run (places crash points)."""
+
+    workload: str
+    scheme: str
+    config: MachineConfig
+    operations: int = 50
+    seed: int = 42
+    workload_params: WorkloadParams = ()
+
+    kind = "run_length"
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "config": config_fingerprint(self.config),
+            "operations": self.operations,
+            "seed": self.seed,
+            "workload_params": [list(pair) for pair in self.workload_params],
+        }
+
+    @property
+    def key(self) -> str:
+        return point_key(self.kind, self.spec())
+
+    def execute(self) -> Dict[str, object]:
+        from .crash import measure_run_length
+
+        total = measure_run_length(
+            self.workload, self.scheme, config=self.config,
+            operations=self.operations, seed=self.seed,
+            **_params_dict(self.workload_params))
+        return {"total_cycles": total}
+
+    @staticmethod
+    def deserialize(payload: Dict[str, object]) -> int:
+        return int(payload["total_cycles"])
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One crash-injection run checked by the atomicity oracle."""
+
+    workload: str
+    scheme: str
+    crash_cycle: int
+    total_cycles: int
+    config: MachineConfig
+    operations: int = 50
+    seed: int = 42
+    workload_params: WorkloadParams = ()
+
+    kind = "crash"
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "crash_cycle": self.crash_cycle,
+            # total_cycles is an *input* echoed into the payload, so it
+            # must be part of the key for the cache to stay truthful
+            "total_cycles": self.total_cycles,
+            "config": config_fingerprint(self.config),
+            "operations": self.operations,
+            "seed": self.seed,
+            "workload_params": [list(pair) for pair in self.workload_params],
+        }
+
+    @property
+    def key(self) -> str:
+        return point_key(self.kind, self.spec())
+
+    def execute(self) -> Dict[str, object]:
+        from .crash import run_with_crash
+
+        report = run_with_crash(
+            self.workload, self.scheme, self.crash_cycle,
+            config=self.config, operations=self.operations,
+            seed=self.seed, total_cycles=self.total_cycles,
+            **_params_dict(self.workload_params))
+        return report.to_dict()
+
+    @staticmethod
+    def deserialize(payload: Dict[str, object]):
+        from .crash import CrashReport
+
+        return CrashReport.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One crash run under fault injection (``config.faults`` carries
+    the per-run derived fault seed)."""
+
+    workload: str
+    scheme: str
+    crash_cycle: int
+    total_cycles: int
+    config: MachineConfig
+    operations: int = 40
+    seed: int = 42
+    workload_params: WorkloadParams = ()
+
+    kind = "chaos"
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "crash_cycle": self.crash_cycle,
+            "total_cycles": self.total_cycles,
+            "config": config_fingerprint(self.config),
+            "operations": self.operations,
+            "seed": self.seed,
+            "workload_params": [list(pair) for pair in self.workload_params],
+        }
+
+    @property
+    def key(self) -> str:
+        return point_key(self.kind, self.spec())
+
+    def execute(self) -> Dict[str, object]:
+        from .chaos import run_chaos_crash
+        from .runner import make_traces
+
+        traces = make_traces(self.workload, self.config.num_cores,
+                             self.operations, seed=self.seed,
+                             **_params_dict(self.workload_params))
+        run = run_chaos_crash(self.workload, self.scheme,
+                              self.crash_cycle, traces, self.config,
+                              total_cycles=self.total_cycles)
+        return run.to_dict()
+
+    @staticmethod
+    def deserialize(payload: Dict[str, object]):
+        from .chaos import ChaosRun
+
+        return ChaosRun.from_dict(payload)
+
+
+def _execute_point(point) -> Tuple[str, Dict[str, object], float]:
+    """Worker entry: run one point, return (key, payload, seconds).
+
+    Module-level so it pickles; the point dataclasses carry everything
+    a worker needs (config included) and regenerate traces locally."""
+    start = time.perf_counter()
+    payload = point.execute()
+    return point.key, payload, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# on-disk cache
+# ---------------------------------------------------------------------------
+class ResultCache:
+    """One JSON file per point key, written atomically.
+
+    Files store ``{"key", "spec", "payload"}`` — the spec rides along
+    purely for human debugging (``jq .spec`` answers "what run is
+    this?").  A missing, unreadable, or malformed file is a miss, never
+    an error: the point simply re-simulates and overwrites it.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        try:
+            with open(self.path(key)) as fp:
+                entry = json.load(fp)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or "payload" not in entry:
+            return None
+        payload = entry["payload"]
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, spec: Dict[str, object],
+            payload: Dict[str, object]) -> None:
+        path = self.path(key)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        # no sort_keys: dict insertion order must survive the
+        # round-trip so cached results render byte-identically to
+        # freshly simulated ones
+        tmp.write_text(json.dumps(
+            {"key": key, "spec": spec, "payload": payload}))
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+class ExperimentEngine:
+    """Runs batches of experiment points, optionally in parallel and
+    optionally memoized on disk.
+
+    ``jobs=1`` (the default) executes inline in submission order —
+    exactly what the serial code paths did.  ``jobs>1`` fans points out
+    over a process pool; because results are keyed by point and merged
+    in submission order, the output is identical either way (enforced
+    by ``tests/test_parallel_engine.py``).
+
+    With ``cache_dir`` set, finished payloads are written through to
+    disk and hit on the next batch — across engines, processes, and CI
+    runs.  ``use_cache=False`` disables lookups *and* write-through
+    (``--no-cache``).
+
+    Per-point wall time lands in ``stats`` (histogram
+    ``engine.point.seconds``), alongside ``engine.cache.hits`` /
+    ``engine.cache.misses`` / ``engine.executed`` counters, so the
+    speedup from caching and parallelism is measurable.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir=None,
+                 use_cache: bool = True,
+                 stats: Optional[Stats] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = (ResultCache(cache_dir)
+                      if cache_dir is not None and use_cache else None)
+        self.stats = stats if stats is not None else Stats()
+
+    # -- public API ----------------------------------------------------
+    def run(self, points: Sequence) -> List:
+        """Execute a batch; returns deserialized results in the order
+        the points were given, regardless of completion order.
+
+        Duplicate points (same key) execute once and share the result.
+        """
+        points = list(points)
+        keys = [point.key for point in points]
+        self.stats.inc("engine.points", len(points))
+
+        first: Dict[str, object] = {}      # key -> representative point
+        for point, key in zip(points, keys):
+            first.setdefault(key, point)
+
+        payloads: Dict[str, Dict[str, object]] = {}
+        pending = []
+        for key, point in first.items():
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                payloads[key] = cached
+                self.stats.inc("engine.cache.hits")
+            else:
+                if self.cache is not None:
+                    self.stats.inc("engine.cache.misses")
+                pending.append(point)
+
+        if pending:
+            with self.stats.timer("engine.batch.seconds"):
+                finished = self._execute(pending)
+            for key, payload, seconds in finished:
+                payloads[key] = payload
+                self.stats.inc("engine.executed")
+                self.stats.hist("engine.point.seconds", seconds)
+                if self.cache is not None:
+                    self.cache.put(key, first[key].spec(), payload)
+
+        # point-keyed deterministic merge: output order is input order
+        return [point.deserialize(payloads[key])
+                for point, key in zip(points, keys)]
+
+    def summary(self) -> str:
+        """One-line run summary (the CLI prints this to stderr; the CI
+        smoke job greps ``hits=`` out of it)."""
+        counter = self.stats.counter
+        wall = self.stats.summary("engine.batch.seconds").total
+        return (f"engine: jobs={self.jobs} "
+                f"points={counter('engine.points'):.0f} "
+                f"hits={counter('engine.cache.hits'):.0f} "
+                f"executed={counter('engine.executed'):.0f} "
+                f"wall={wall:.2f}s")
+
+    # -- execution -----------------------------------------------------
+    def _execute(self, pending: List) -> List[Tuple[str, Dict[str, object],
+                                                    float]]:
+        if self.jobs == 1 or len(pending) == 1:
+            return [_execute_point(point) for point in pending]
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_point, point)
+                       for point in pending]
+            return [future.result() for future in futures]

@@ -91,6 +91,35 @@ class SimulationResult:
             out["raw_stats"] = dict(self.raw_stats)
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (derived
+        metrics like ``ipc`` are recomputed, not read back).
+
+        Exact inverse for JSON round-trips: Python's JSON encoder emits
+        floats at full ``repr`` precision, so
+        ``from_dict(json.loads(json.dumps(to_dict())))`` reproduces the
+        original values bit for bit — the property the parallel
+        engine's result cache relies on."""
+        return cls(
+            workload=str(data["workload"]),
+            scheme=SchemeName.parse(data["scheme"]),
+            cycles=int(data["cycles"]),
+            instructions=int(data["instructions"]),
+            instructions_executed=int(data["instructions_executed"]),
+            transactions=int(data["transactions"]),
+            llc_accesses=data["llc_accesses"],
+            llc_misses=data["llc_misses"],
+            nvm_write_lines=data["nvm_write_lines"],
+            nvm_read_lines=data["nvm_read_lines"],
+            persist_load_latency=data["persist_load_latency"],
+            persist_llc_load_latency=data["persist_llc_load_latency"],
+            load_latency=data["load_latency"],
+            tc_full_stall_events=data.get("tc_full_stall_events", 0.0),
+            stall_cycles=dict(data.get("stall_cycles", {})),
+            raw_stats=dict(data.get("raw_stats", {})),
+        )
+
 
 def collect_result(system: System, workload: str = "") -> SimulationResult:
     """Extract a :class:`SimulationResult` from a finished system."""

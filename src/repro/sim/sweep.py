@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from ..common.config import MachineConfig, small_machine_config
 from ..common.types import SchemeName
 from .runner import SimulationResult, run_experiment
+from .validate import require_valid_config
 
 Configure = Callable[[MachineConfig, object], MachineConfig]
 
@@ -88,12 +89,46 @@ class Sweep:
 
     def run(self, workload: str, scheme: Union[str, SchemeName],
             base_config: Optional[MachineConfig] = None,
-            **run_kwargs) -> SweepOutcome:
+            engine=None, **run_kwargs) -> SweepOutcome:
+        """Run the sweep grid.
+
+        ``engine`` is an optional
+        :class:`~repro.sim.parallel.ExperimentEngine`; without one the
+        points run inline exactly as they always have.  Either way,
+        every point's config is materialized and validated **before**
+        the first simulation starts, so a bad knob value raises
+        immediately instead of minutes into the grid.
+        """
         base = base_config or small_machine_config()
+        scheme_name = SchemeName.parse(scheme)
+        configs = [self.configure(base, value) for value in self.values]
+        for value, config in zip(self.values, configs):
+            require_valid_config(config, context=f"sweep {self.name}={value!r}")
         outcome = SweepOutcome(name=self.name, workload=workload,
-                               scheme=SchemeName.parse(scheme).value)
-        for value in self.values:
-            config = self.configure(base, value)
+                               scheme=scheme_name.value)
+        if engine is not None:
+            if run_kwargs.get("traces") is not None:
+                raise ValueError(
+                    "engine-driven sweeps regenerate traces per point; "
+                    "pass seed/operations instead of traces")
+            from .parallel import ExperimentPoint, make_params
+
+            operations = run_kwargs.pop("operations", 300)
+            seed = run_kwargs.pop("seed", 42)
+            # run_experiment ignores num_cores once a config is given;
+            # mirror that here so engine/serial results agree
+            run_kwargs.pop("num_cores", None)
+            run_kwargs.pop("traces", None)
+            params = make_params(run_kwargs)
+            points = [ExperimentPoint(workload, scheme_name.value, config,
+                                      operations=operations, seed=seed,
+                                      workload_params=params)
+                      for config in configs]
+            results = engine.run(points)
+            outcome.points = [SweepPoint(value=value, result=result)
+                              for value, result in zip(self.values, results)]
+            return outcome
+        for value, config in zip(self.values, configs):
             result = run_experiment(workload, scheme, config=config,
                                     **run_kwargs)
             outcome.points.append(SweepPoint(value=value, result=result))

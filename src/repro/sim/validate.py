@@ -71,6 +71,23 @@ def validate_config(config: MachineConfig) -> ValidationReport:
     return report
 
 
+def require_valid_config(config: MachineConfig,
+                         context: str = "") -> MachineConfig:
+    """Raise ``ValueError`` when a config has validation *errors*
+    (warnings pass).
+
+    Grid runners (:class:`~repro.sim.sweep.Sweep`,
+    :func:`~repro.sim.chaos.chaos_sweep`) call this on every
+    materialized point config **before** the first simulation runs, so
+    a bad knob value fails in milliseconds instead of minutes into the
+    grid."""
+    report = validate_config(config)
+    if not report.ok:
+        prefix = f"{context}: " if context else ""
+        raise ValueError(prefix + "; ".join(report.errors))
+    return config
+
+
 def validate_traces(config: MachineConfig,
                     traces: Sequence[Trace]) -> ValidationReport:
     """Sanity-check traces against a configuration."""

@@ -1,0 +1,279 @@
+"""Tests for the parallel experiment engine and its result cache.
+
+The engine's contract is stronger than "runs stuff in parallel": the
+merged output must be **identical** to the serial output (same objects,
+field for field), and a cache hit must never change a report.  The
+Hypothesis properties at the bottom drive random grids through the
+serial path, the pooled path, and a cold/warm cache cycle and require
+exact agreement every time.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import (
+    FaultConfig,
+    config_fingerprint,
+    small_machine_config,
+)
+from repro.common.types import SchemeName
+from repro.sim.chaos import ChaosRun, chaos_sweep
+from repro.sim.crash import CrashReport, crash_sweep, run_with_crash
+from repro.sim.parallel import (
+    ChaosPoint,
+    CrashPoint,
+    ExperimentEngine,
+    ExperimentPoint,
+    ResultCache,
+    RunLengthPoint,
+)
+from repro.sim.runner import run_experiment
+from repro.sim.sweep import tc_size_sweep
+
+CONFIG = small_machine_config(num_cores=1)
+
+
+def result_dicts(results):
+    return [r.to_dict(include_raw=True) for r in results]
+
+
+class TestPointKeys:
+    def test_key_is_stable(self):
+        a = ExperimentPoint("sps", "txcache", CONFIG, operations=20)
+        b = ExperimentPoint("sps", "txcache", CONFIG, operations=20)
+        assert a.key == b.key
+
+    @pytest.mark.parametrize("change", [
+        lambda p: replace(p, workload="hashtable"),
+        lambda p: replace(p, scheme="optimal"),
+        lambda p: replace(p, operations=21),
+        lambda p: replace(p, seed=43),
+        lambda p: replace(p, workload_params=(("array_elements", 64),)),
+        lambda p: replace(p, config=replace(
+            p.config, txcache=replace(p.config.txcache, size_bytes=1024))),
+        # a knob buried three dataclasses deep still changes the key
+        lambda p: replace(p, config=replace(
+            p.config, faults=FaultConfig(nvm_write_fail_rate=1e-3))),
+    ])
+    def test_any_spec_change_changes_key(self, change):
+        base = ExperimentPoint("sps", "txcache", CONFIG, operations=20)
+        assert change(base).key != base.key
+
+    def test_kinds_never_collide(self):
+        exp = ExperimentPoint("sps", "txcache", CONFIG, operations=20)
+        length = RunLengthPoint("sps", "txcache", CONFIG, operations=20)
+        assert exp.key != length.key
+
+    def test_config_fingerprint_covers_every_knob(self):
+        base = small_machine_config()
+        assert config_fingerprint(base) == config_fingerprint(
+            small_machine_config())
+        deep = replace(base, nvm=replace(
+            base.nvm, timing=replace(base.nvm.timing, write_ns=77.0)))
+        assert config_fingerprint(deep) != config_fingerprint(base)
+
+
+class TestRoundTrips:
+    """from_dict(to_dict(x)) must reproduce x exactly — through JSON."""
+
+    def test_simulation_result(self):
+        result = run_experiment("sps", "txcache", config=CONFIG,
+                                operations=20)
+        data = json.loads(json.dumps(result.to_dict(include_raw=True)))
+        rebuilt = type(result).from_dict(data)
+        assert rebuilt.to_dict(include_raw=True) == \
+            result.to_dict(include_raw=True)
+        assert rebuilt.scheme is SchemeName.TXCACHE
+
+    def test_crash_report(self):
+        report = run_with_crash("sps", "txcache", 2000, config=CONFIG,
+                                operations=15)
+        data = json.loads(json.dumps(report.to_dict()))
+        rebuilt = CrashReport.from_dict(data)
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.committed == report.committed
+
+    def test_chaos_run(self):
+        report = chaos_sweep(["sps"], fractions=[0.5], operations=15)
+        run = report.runs[0]
+        data = json.loads(json.dumps(run.to_dict()))
+        assert ChaosRun.from_dict(data).to_dict() == run.to_dict()
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {"workload": "sps"}, {"cycles": 7})
+        assert cache.get("k1") == {"cycles": 7}
+        assert len(cache) == 1
+
+    def test_missing_key_is_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get("nope") is None
+
+    def test_corrupt_file_is_miss_not_error(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path("bad").write_text("{not json")
+        cache.path("shape").write_text(json.dumps(["wrong", "shape"]))
+        assert cache.get("bad") is None
+        assert cache.get("shape") is None
+
+    def test_spec_stored_for_debugging(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {"workload": "sps"}, {"cycles": 7})
+        entry = json.loads(cache.path("k1").read_text())
+        assert entry["spec"] == {"workload": "sps"}
+
+
+class TestEngineBasics:
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(jobs=0)
+
+    def test_engine_matches_direct_run(self):
+        point = ExperimentPoint("sps", "txcache", CONFIG, operations=20)
+        (via_engine,) = ExperimentEngine(jobs=1).run([point])
+        direct = run_experiment("sps", "txcache", config=CONFIG,
+                                operations=20)
+        assert via_engine.to_dict(include_raw=True) == \
+            direct.to_dict(include_raw=True)
+
+    def test_duplicate_points_execute_once(self):
+        engine = ExperimentEngine(jobs=1)
+        point = ExperimentPoint("sps", "txcache", CONFIG, operations=15)
+        first, second = engine.run([point, point])
+        assert engine.stats.counter("engine.executed") == 1
+        assert first.to_dict(include_raw=True) == \
+            second.to_dict(include_raw=True)
+
+    def test_per_point_timing_recorded(self):
+        engine = ExperimentEngine(jobs=1)
+        engine.run([ExperimentPoint("sps", "txcache", CONFIG,
+                                    operations=15)])
+        timing = engine.stats.summary("engine.point.seconds")
+        assert timing.count == 1
+        assert timing.total > 0
+
+    def test_no_cache_flag_means_no_files(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path,
+                                  use_cache=False)
+        engine.run([ExperimentPoint("sps", "txcache", CONFIG,
+                                    operations=15)])
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_summary_mentions_hits(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        point = ExperimentPoint("sps", "txcache", CONFIG, operations=15)
+        engine.run([point])
+        engine.run([point])
+        assert "hits=1" in engine.summary()
+
+
+class TestSweepThroughEngine:
+    def test_engine_sweep_equals_serial_sweep(self):
+        sweep = tc_size_sweep(sizes=(512, 4096))
+        serial = sweep.run("sps", "txcache", operations=20,
+                           array_elements=64)
+        engine = sweep.run("sps", "txcache", operations=20,
+                           array_elements=64,
+                           engine=ExperimentEngine(jobs=2))
+        assert serial.to_json() == engine.to_json()
+
+    def test_engine_rejects_prebuilt_traces(self):
+        from repro.sim.runner import make_traces
+
+        traces = make_traces("sps", 1, 10)
+        with pytest.raises(ValueError, match="traces"):
+            tc_size_sweep(sizes=(4096,)).run(
+                "sps", "txcache", traces=traces,
+                engine=ExperimentEngine(jobs=1))
+
+
+class TestCrashAndChaosThroughEngine:
+    def test_crash_sweep_identical(self):
+        kwargs = dict(fractions=[0.4, 0.8], operations=15)
+        serial = crash_sweep("sps", "txcache", **kwargs)
+        pooled = crash_sweep("sps", "txcache",
+                             engine=ExperimentEngine(jobs=2), **kwargs)
+        assert [r.to_dict() for r in serial] == \
+            [r.to_dict() for r in pooled]
+
+    def test_chaos_sweep_identical(self):
+        fault = FaultConfig(nvm_write_fail_rate=1e-3, ack_loss_rate=1e-3)
+        kwargs = dict(schemes=["txcache"], fault_config=fault,
+                      fractions=[0.3, 0.7], operations=15)
+        serial = chaos_sweep(["sps"], **kwargs)
+        pooled = chaos_sweep(["sps"], engine=ExperimentEngine(jobs=2),
+                             **kwargs)
+        assert serial.format() == pooled.format()
+        assert [r.to_dict() for r in serial.runs] == \
+            [r.to_dict() for r in pooled.runs]
+
+
+class TestUpfrontValidation:
+    """A bad knob value must raise before any point simulates."""
+
+    def test_chaos_bad_config_raises_before_running(self, monkeypatch):
+        executed = []
+        monkeypatch.setattr(
+            "repro.sim.chaos.run_chaos_crash",
+            lambda *a, **k: executed.append(a))
+        monkeypatch.setattr(
+            "repro.sim.chaos.measure_run_length",
+            lambda *a, **k: executed.append(a))
+        bad = replace(CONFIG, llc=replace(CONFIG.llc, size_bytes=1000))
+        with pytest.raises(ValueError, match="chaos sweep config"):
+            chaos_sweep(["sps"], config=bad, operations=15)
+        assert executed == []
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+POINT = st.tuples(
+    st.sampled_from(["sps", "hashtable"]),
+    st.sampled_from(["optimal", "txcache"]),
+    st.integers(min_value=8, max_value=15),   # operations
+    st.integers(min_value=0, max_value=3),    # seed
+)
+GRID = st.lists(POINT, min_size=1, max_size=3)
+
+
+def build_points(grid):
+    return [ExperimentPoint(workload, scheme, CONFIG,
+                            operations=operations, seed=seed)
+            for workload, scheme, operations, seed in grid]
+
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(grid=GRID)
+def test_property_pooled_equals_serial(grid):
+    """Random grids: the pooled path's merged report is identical to
+    the serial path's, element for element."""
+    points = build_points(grid)
+    serial = ExperimentEngine(jobs=1).run(points)
+    pooled = ExperimentEngine(jobs=2).run(points)
+    assert result_dicts(serial) == result_dicts(pooled)
+
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(grid=GRID)
+def test_property_cache_hits_never_change_a_report(grid, tmp_path_factory):
+    """Cold run, then a warm run on the same cache: every unique point
+    hits, nothing re-simulates, and the merged report is unchanged."""
+    cache_dir = tmp_path_factory.mktemp("engine-cache")
+    points = build_points(grid)
+    unique = len({point.key for point in points})
+    cold_engine = ExperimentEngine(jobs=1, cache_dir=cache_dir)
+    cold = cold_engine.run(points)
+    assert cold_engine.stats.counter("engine.executed") == unique
+    warm_engine = ExperimentEngine(jobs=1, cache_dir=cache_dir)
+    warm = warm_engine.run(points)
+    assert warm_engine.stats.counter("engine.cache.hits") == unique
+    assert warm_engine.stats.counter("engine.executed") == 0
+    assert result_dicts(cold) == result_dicts(warm)

@@ -24,6 +24,34 @@ class TestSweepConstruction:
             assert sweep.values
 
 
+class TestUpfrontValidation:
+    """A bad knob value must fail before the first point simulates —
+    not minutes into the grid (PR 1's construction-time validation,
+    now applied to whole grids at once)."""
+
+    def test_bad_value_raises_before_any_point_runs(self, monkeypatch):
+        executed = []
+        monkeypatch.setattr("repro.sim.sweep.run_experiment",
+                            lambda *a, **k: executed.append(a))
+        # 1000 B / 64 B lines = 15 lines: not divisible into 16-way
+        # sets, an error validate_config catches up front
+        sweep = llc_size_sweep(sizes=(32 * 1024, 1000))
+        with pytest.raises(ValueError, match="llc"):
+            sweep.run("sps", "txcache", operations=10)
+        assert executed == []
+
+    def test_bad_value_reported_with_its_knob(self):
+        sweep = llc_size_sweep(sizes=(1000,))
+        with pytest.raises(ValueError, match="llc_size_bytes=1000"):
+            sweep.run("sps", "txcache", operations=10)
+
+    def test_valid_grid_still_runs(self):
+        outcome = tc_size_sweep(sizes=(4096,)).run(
+            "sps", "txcache", operations=10, num_cores=1,
+            array_elements=64)
+        assert len(outcome.points) == 1
+
+
 class TestSweepExecution:
     @pytest.fixture(scope="class")
     def outcome(self):
