@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Capture, summarize, and validate a cycle-domain simulation trace.
+
+Two modes:
+
+* **capture** (default) — run one (workload, scheme) experiment with
+  the tracer and epoch sampler on, write the Chrome trace-event JSON
+  (open it at https://ui.perfetto.dev), and print an event summary
+  plus the per-core stall-attribution breakdown.
+
+      python examples/trace_capture.py --workload hashtable \
+          --scheme txcache --out trace.json
+
+* **summarize** — read an already-captured trace file, validate it
+  against the Chrome trace-event schema, and print per-name event
+  counts.  CI uses this to check traces produced by the ``repro
+  trace`` CLI without re-simulating.
+
+      python examples/trace_capture.py --summarize trace.json
+
+Both modes exit nonzero on a malformed trace or (in capture mode) a
+stall-attribution invariant violation, so they double as checks.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+from repro.obs import Observability, StallReport, validate_chrome_trace
+from repro.sim.runner import run_experiment
+
+
+def capture(args: argparse.Namespace) -> int:
+    obs = Observability(epoch=args.epoch)
+    result = run_experiment(args.workload, args.scheme,
+                            num_cores=args.cores,
+                            operations=args.operations, seed=args.seed,
+                            obs=obs)
+    obs.write(args.out)
+    print(f"{args.workload}/{args.scheme}: {result.cycles} cycles, "
+          f"{result.instructions_executed} instructions, "
+          f"{result.transactions} transactions")
+    print(f"captured {len(obs.tracer)} events "
+          f"({obs.tracer.dropped} evicted) -> {args.out}\n")
+
+    report = StallReport.from_result(result)
+    print(report.format())
+
+    errors = report.attribution_errors()
+    if errors:
+        for error in errors:
+            print(f"stall attribution violated: {error}", file=sys.stderr)
+        return 1
+    return summarize_trace(args.out)
+
+
+def summarize_trace(path: str) -> int:
+    with open(path) as fh:
+        trace = json.load(fh)
+    errors = validate_chrome_trace(trace)
+    if errors:
+        for error in errors:
+            print(f"schema violation: {error}", file=sys.stderr)
+        return 1
+    events = trace["traceEvents"]
+    by_name = Counter(event["name"] for event in events
+                      if event["ph"] != "M")
+    print(f"\n{path}: valid Chrome trace, {len(events)} events "
+          f"(clock: {trace['otherData']['clock']})")
+    width = max((len(name) for name in by_name), default=10) + 2
+    for name, count in sorted(by_name.items()):
+        print(f"  {name:<{width}}{count:>8}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--summarize", metavar="TRACE_JSON",
+                        help="validate + summarize an existing trace "
+                             "file instead of capturing one")
+    parser.add_argument("--workload", default="hashtable")
+    parser.add_argument("--scheme", default="txcache")
+    parser.add_argument("--cores", type=int, default=2)
+    parser.add_argument("--operations", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--epoch", type=int, default=64,
+                        help="occupancy/queue sampling period in cycles")
+    parser.add_argument("--out", default="trace.json")
+    args = parser.parse_args()
+    if args.summarize:
+        return summarize_trace(args.summarize)
+    return capture(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ from ..common.event import Simulator
 from ..common.stats import Stats
 from ..common.types import Version, is_persistent_addr, line_addr
 from ..memory.system import MemorySystem
+from ..obs.tracer import NULL_TRACER, NullTracer
 from .level import CacheLevel
 from .line import CacheLine, EvictionImpossible
 
@@ -71,10 +72,12 @@ class CacheHierarchy:
         config: MachineConfig,
         stats: Stats,
         memory: MemorySystem,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.config = config
         self.memory = memory
+        self.tracer = tracer
         self.num_cores = config.num_cores
         freq = config.freq_ghz
         self.l1: List[CacheLevel] = [
@@ -222,6 +225,10 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
     def _llc_miss(self, core_id, line, start, latency, *, is_store,
                   persistent, tx_id, store_version, on_load, on_store) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant("cache", "llc", "miss", self.sim.now,
+                                line=line, core=core_id,
+                                store=int(is_store))
         if self.llc_probe is not None and is_persistent_addr(line):
             # Paper §3: the LLC issues the miss toward *both* the NVM and
             # the transaction cache.  The TC buffers the written words of
@@ -376,8 +383,14 @@ class CacheHierarchy:
             # Paper §3: persistent LLC victims are discarded; the NVM only
             # ever receives the consistent data issued by the TC.
             self.stats.inc("llc.dropped_evictions")
+            if self.tracer.enabled:
+                self.tracer.instant("cache", "llc", "eviction.dropped",
+                                    self.sim.now, line=line)
             return
         self.stats.inc("llc.writebacks")
+        if self.tracer.enabled:
+            self.tracer.instant("cache", "llc", "writeback",
+                                self.sim.now, line=line)
         self._sent_version[line] = newest
         self.memory.write(line, newest, source="llc.writeback")
 
@@ -422,6 +435,9 @@ class CacheHierarchy:
 
     def block_until(self, cycle: int) -> None:
         """Kiln: stall all subsequent hierarchy accesses until ``cycle``."""
+        if self.tracer.enabled and cycle > self.sim.now:
+            self.tracer.complete("cache", "llc", "blocked", self.sim.now,
+                                 cycle - self.sim.now)
         self._blocked_until = max(self._blocked_until, cycle)
 
     @property
@@ -472,6 +488,9 @@ class CacheHierarchy:
                               on_complete, self.sim.now)
             return
         self.stats.inc("clwb.writebacks")
+        if self.tracer.enabled:
+            self.tracer.instant("cache", "llc", "clwb.writeback",
+                                self.sim.now, line=line, core=core_id)
         self._sent_version[line] = newest
         self.memory.write(line, newest,
                           on_complete=lambda req, cycle: on_complete(cycle),

@@ -13,8 +13,12 @@ Commands
 ``chaos``    crash injection × fault injection (imperfect NVM, lossy
              acks, TC bit errors) swept over workloads, schemes, and
              crash fractions, checked against the atomicity oracle.
-``trace``    generate a workload trace, print its statistics, and
-             optionally dump it to a file.
+``trace``    without ``--scheme``: generate a workload trace, print
+             its statistics, and optionally dump it to a file.  With
+             ``--scheme``: simulate the workload under that scheme
+             with the cycle-domain tracer on, write a Chrome
+             trace-event JSON (open in https://ui.perfetto.dev), and
+             print the per-core stall-attribution breakdown.
 ``workloads``  list registered workloads.
 
 Grid-shaped commands (``sweep``, ``figures``, ``crash``, ``chaos``)
@@ -22,7 +26,10 @@ accept ``--jobs N`` to fan independent experiment points out over a
 process pool and ``--cache-dir DIR`` to memoize finished points on
 disk (``--no-cache`` bypasses a configured cache).  Parallel and
 cached runs produce byte-identical output to serial ones; the engine
-prints a ``hits=``/``executed=`` summary to stderr.
+prints a ``hits=``/``executed=`` summary to stderr.  They also accept
+``--trace DIR`` to capture one Chrome trace per experiment point
+(named by the point's cache key) and ``--epoch N`` to sample
+occupancies/queue depths every N cycles into those traces.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from .sim.report import (
     figure9_write_traffic,
     figure10_load_latency,
     format_figure,
+    format_stall_breakdown,
     format_table1,
     format_table2,
     format_table3,
@@ -80,6 +88,15 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                         help="neither read nor write --cache-dir")
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="capture one Chrome trace per experiment point "
+                             "into DIR, named by the point's cache key")
+    parser.add_argument("--epoch", type=int, default=0,
+                        help="sample occupancies/queue depths into the trace "
+                             "every N cycles (0 = off)")
+
+
 def _engine_from_args(args):
     from .sim.parallel import ExperimentEngine
 
@@ -112,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="regenerate Figures 6-10")
     _add_common_run_args(figures_parser)
     _add_engine_args(figures_parser)
+    _add_obs_args(figures_parser)
 
     sweep_parser = sub.add_parser(
         "sweep", help="run a ready-made parameter sweep")
@@ -126,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--json", action="store_true",
                               help="emit machine-readable JSON")
     _add_engine_args(sweep_parser)
+    _add_obs_args(sweep_parser)
 
     crash_parser = sub.add_parser("crash", help="crash-injection sweep")
     crash_parser.add_argument("workload", choices=sorted(WORKLOADS))
@@ -138,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.1, 0.25, 0.5, 0.75, 0.9],
         help="crash points as fractions of the uninterrupted run")
     _add_engine_args(crash_parser)
+    _add_obs_args(crash_parser)
 
     chaos_parser = sub.add_parser(
         "chaos", help="fault-injection chaos sweep (crash x faults)")
@@ -165,12 +185,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.1, 0.25, 0.5, 0.75, 0.9],
         help="crash points as fractions of the fault-free run")
     _add_engine_args(chaos_parser)
+    _add_obs_args(chaos_parser)
 
-    trace_parser = sub.add_parser("trace", help="generate a trace")
-    trace_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    trace_parser = sub.add_parser(
+        "trace",
+        help="dump a workload trace, or (with --scheme) capture a "
+             "cycle-domain simulation trace")
+    trace_parser.add_argument("workload", nargs="?", default=None,
+                              choices=sorted(WORKLOADS))
+    trace_parser.add_argument("--workload", dest="workload_opt",
+                              choices=sorted(WORKLOADS), default=None,
+                              help="workload (same as the positional)")
+    trace_parser.add_argument("--scheme", choices=SCHEME_CHOICES,
+                              default=None,
+                              help="simulate under this scheme and write a "
+                                   "Chrome trace (omit for the plain "
+                                   "workload-trace dump)")
+    trace_parser.add_argument("--cores", type=int, default=1,
+                              help="cores for the simulation (default 1)")
     trace_parser.add_argument("--operations", type=int, default=100)
     trace_parser.add_argument("--seed", type=int, default=42)
-    trace_parser.add_argument("--out", help="dump the trace (JSON lines)")
+    trace_parser.add_argument("--epoch", type=int, default=0,
+                              help="sample occupancies/queue depths every "
+                                   "N cycles (0 = off)")
+    trace_parser.add_argument("--ring", type=int, default=1 << 18,
+                              help="tracer ring capacity; oldest events are "
+                                   "evicted beyond it")
+    trace_parser.add_argument("--sample-every", type=int, default=1,
+                              help="keep every Nth event per event name "
+                                   "(counters are never decimated)")
+    trace_parser.add_argument("--out",
+                              help="output path: JSON-lines workload trace, "
+                                   "or Chrome trace JSON with --scheme")
 
     mix_parser = sub.add_parser(
         "mix", help="heterogeneous mix: one workload per core")
@@ -265,7 +311,8 @@ def cmd_figures(args) -> int:
     pressure = config.scaled_llc(128 * 1024)
     points = [
         ExperimentPoint(workload, scheme.value, grid_config,
-                        operations=args.operations, seed=args.seed)
+                        operations=args.operations, seed=args.seed,
+                        trace_dir=args.trace, trace_epoch=args.epoch)
         for grid_config in (config, pressure)
         for workload in PAPER_WORKLOADS
         for scheme in ALL_SCHEMES
@@ -289,6 +336,9 @@ def cmd_figures(args) -> int:
         print(format_figure(f"{title}, normalized to Optimal",
                             figure(source)))
         print()
+    print(format_stall_breakdown(grid))
+    if args.trace:
+        print(f"per-point traces in {args.trace}/", file=sys.stderr)
     return 0
 
 
@@ -301,7 +351,8 @@ def cmd_sweep(args) -> int:
     try:
         outcome = sweep.run(args.workload, args.scheme, base_config=config,
                             operations=args.operations, seed=args.seed,
-                            engine=engine)
+                            engine=engine, trace_dir=args.trace,
+                            trace_epoch=args.epoch)
     except ValueError as error:
         print(f"repro sweep: error: {error}", file=sys.stderr)
         return 2
@@ -316,7 +367,8 @@ def cmd_crash(args) -> int:
                           fractions=args.fractions,
                           operations=args.operations,
                           num_cores=args.cores, seed=args.seed,
-                          engine=engine)
+                          engine=engine, trace_dir=args.trace,
+                          trace_epoch=args.epoch)
     print(engine.summary(), file=sys.stderr)
     failures = 0
     for report in reports:
@@ -355,7 +407,7 @@ def cmd_chaos(args) -> int:
         args.chaos_workloads, schemes=args.schemes,
         fault_config=fault_config, fractions=args.fractions,
         num_cores=args.cores, operations=args.operations, seed=args.seed,
-        engine=engine)
+        engine=engine, trace_dir=args.trace, trace_epoch=args.epoch)
     print(engine.summary(), file=sys.stderr)
     print(report.format())
     torn = report.total_runs - report.survived
@@ -373,7 +425,14 @@ def cmd_chaos(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    workload = create_workload(args.workload, seed=args.seed)
+    workload_name = args.workload_opt or args.workload
+    if workload_name is None:
+        print("repro trace: error: a workload is required "
+              "(positional or --workload)", file=sys.stderr)
+        return 2
+    if args.scheme is not None:
+        return _cmd_trace_simulation(args, workload_name)
+    workload = create_workload(workload_name, seed=args.seed)
     trace = workload.generate(args.operations)
     print(f"trace: {trace.name}")
     print(f"  ops:               {len(trace)}")
@@ -384,6 +443,43 @@ def cmd_trace(args) -> int:
         with open(args.out, "w") as fp:
             trace.dump(fp)
         print(f"  written to {args.out}")
+    return 0
+
+
+def _cmd_trace_simulation(args, workload_name: str) -> int:
+    """``repro trace --workload W --scheme S``: run one experiment with
+    the tracer on, write Chrome trace JSON, print the stall breakdown.
+
+    Exits nonzero if any core's per-kind stall attribution fails to sum
+    to its measured total stall cycles — that invariant holding is what
+    makes the breakdown trustworthy.
+    """
+    from .obs import Observability, StallReport
+
+    obs = Observability(epoch=args.epoch, ring_capacity=args.ring,
+                        sample_every=args.sample_every)
+    result = run_experiment(workload_name, args.scheme,
+                            num_cores=args.cores,
+                            operations=args.operations, seed=args.seed,
+                            obs=obs)
+    out = args.out or f"{workload_name}_{args.scheme}.trace.json"
+    obs.write(out)
+    tracer = obs.tracer
+    print(f"trace: {workload_name}/{args.scheme} — {result.cycles} cycles, "
+          f"{result.instructions_executed} instructions")
+    print(f"  events:  {len(tracer.events())} kept of {tracer.emitted} "
+          f"emitted ({tracer.dropped} evicted, "
+          f"{tracer.decimated} decimated)")
+    print(f"  written to {out} (open in https://ui.perfetto.dev)")
+    print()
+    report = StallReport.from_result(result)
+    print(report.format())
+    errors = report.attribution_errors()
+    if errors:
+        for error in errors:
+            print(f"repro trace: stall attribution violated: {error}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 

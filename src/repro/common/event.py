@@ -38,11 +38,26 @@ class Simulator:
         self._now: int = 0
         self._seq: int = 0
         self._running = False
+        self._on_advance: Optional[Callable[[int], None]] = None
 
     @property
     def now(self) -> int:
         """Current simulation time in cycles."""
         return self._now
+
+    def set_advance_hook(self, hook: Optional[Callable[[int], None]]) -> None:
+        """Install ``hook(new_time)``, called whenever :meth:`step`
+        advances simulation time — *between* events, never during one.
+
+        This is how the observability layer's epoch sampler observes
+        the clock without scheduling events of its own: a
+        self-rescheduling sampler event would keep the queue non-empty
+        forever and perturb same-cycle insertion order, whereas the
+        hook leaves the event schedule untouched.  The hook must not
+        call :meth:`schedule`; it fires with ``now`` already at the
+        new time.  Pass ``None`` to remove.
+        """
+        self._on_advance = hook
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
@@ -68,7 +83,11 @@ class Simulator:
         if not self._queue:
             return False
         time, _seq, fn, args = heapq.heappop(self._queue)
-        self._now = time
+        if time > self._now and self._on_advance is not None:
+            self._now = time
+            self._on_advance(time)
+        else:
+            self._now = time
         fn(*args)
         return True
 

@@ -101,6 +101,8 @@ class Stats:
         self._samples: Dict[str, SampleSummary] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._events: Dict[str, List[str]] = {}
+        self._suppressed: Dict[str, int] = {}
+        self._suppressed_reported: Dict[str, int] = {}
 
     # -- counters ----------------------------------------------------
     def inc(self, name: str, amount: float = 1) -> None:
@@ -117,10 +119,33 @@ class Stats:
         if len(kept) < self.MAX_EVENTS_PER_NAME:
             kept.append(message)
             logger.warning("%s: %s", name, message)
+        else:
+            self._suppressed[name] = self._suppressed.get(name, 0) + 1
 
     def events(self, name: str) -> List[str]:
         """Retained warning messages for event ``name`` (bounded)."""
         return list(self._events.get(name, []))
+
+    def suppressed(self, name: str) -> int:
+        """Occurrences of warning ``name`` beyond the retained sample
+        (counted exactly, logged only as a final summary)."""
+        return self._suppressed.get(name, 0)
+
+    def flush_suppressed(self) -> None:
+        """Emit one "further N occurrences suppressed" WARNING per
+        event name that overflowed its retained sample.  Idempotent:
+        re-flushing reports only occurrences suppressed since the last
+        flush.  Called from :meth:`dump` so every end-of-run report
+        closes the loop on what the per-name cap hid."""
+        for name in sorted(self._suppressed):
+            count = self._suppressed[name]
+            reported = self._suppressed_reported.get(name, 0)
+            if count > reported:
+                logger.warning(
+                    "%s: further %d occurrences suppressed after the "
+                    "first %d", name, count - reported,
+                    self.MAX_EVENTS_PER_NAME)
+                self._suppressed_reported[name] = count
 
     def counter(self, name: str) -> float:
         """Read counter ``name`` (0 if never incremented)."""
@@ -173,10 +198,12 @@ class Stats:
 
     # -- bulk access ---------------------------------------------------
     def counters(self, prefix: str = "") -> Dict[str, float]:
-        """All counters whose name starts with ``prefix``."""
+        """All counters whose name starts with ``prefix``, sorted by
+        name — reports and cached payloads must not depend on the
+        insertion order of whichever component incremented first."""
         return {
-            name: value
-            for name, value in self._counters.items()
+            name: self._counters[name]
+            for name in sorted(self._counters)
             if name.startswith(prefix)
         }
 
@@ -185,8 +212,11 @@ class Stats:
         return sum(self.counters(prefix).values())
 
     def as_dict(self) -> Dict[str, float]:
-        """Flatten everything into one dict (samples expand to
-        ``name.mean`` / ``name.count`` / ``name.max`` entries)."""
+        """Flatten everything into one key-sorted dict (samples expand
+        to ``name.mean`` / ``name.count`` / ``name.max`` entries).
+        Sorted so serialized payloads (result cache, golden snapshots)
+        are byte-stable across runs with different component init or
+        event interleaving order."""
         out: Dict[str, float] = dict(self._counters)
         for name, summary in self._samples.items():
             out[f"{name}.mean"] = summary.mean
@@ -194,7 +224,14 @@ class Stats:
             if summary.count:
                 out[f"{name}.min"] = summary.minimum
                 out[f"{name}.max"] = summary.maximum
-        return out
+        return {name: out[name] for name in sorted(out)}
+
+    def dump(self) -> Dict[str, float]:
+        """End-of-run report: flush the suppressed-warning summaries
+        (satisfying "every warning is eventually accounted for"), then
+        return the full key-sorted flat dict."""
+        self.flush_suppressed()
+        return self.as_dict()
 
     def scoped(self, prefix: str) -> "ScopedStats":
         """A view that prefixes every recorded name with ``prefix.``."""
@@ -219,6 +256,9 @@ class ScopedStats:
 
     def events(self, name: str):
         return self._parent.events(self._name(name))
+
+    def suppressed(self, name: str) -> int:
+        return self._parent.suppressed(self._name(name))
 
     def counter(self, name: str) -> float:
         return self._parent.counter(self._name(name))

@@ -40,6 +40,7 @@ from ..common.event import Simulator
 from ..common.stats import Stats
 from ..common.types import MemRequest, Version, line_addr
 from ..memory.system import MemorySystem
+from ..obs.tracer import NULL_TRACER, NullTracer
 from .txcache import TransactionCache, TxEntry, TxState
 
 
@@ -52,11 +53,13 @@ class PersistentMemoryAccelerator:
         config: MachineConfig,
         stats: Stats,
         memory: MemorySystem,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.config = config
         self.memory = memory
         self.stats = stats.scoped("tc")
+        self.tracer = tracer
         self.latency = config.txcache.latency_cycles(config.freq_ghz)
         self._global_seq = 0
 
@@ -70,13 +73,16 @@ class PersistentMemoryAccelerator:
             self.tcs = [
                 SetAssocTransactionBuffer(
                     config.txcache, stats.scoped(f"tc.{i}"),
-                    seq_source=next_seq, assoc=config.txcache.assoc)
+                    seq_source=next_seq, assoc=config.txcache.assoc,
+                    tracer=tracer, track=f"tc{i}", clock=self._clock)
                 for i in range(config.num_cores)
             ]
         elif config.txcache.organization == "cam_fifo":
             self.tcs = [
                 TransactionCache(config.txcache, stats.scoped(f"tc.{i}"),
-                                 seq_source=next_seq)
+                                 seq_source=next_seq,
+                                 tracer=tracer, track=f"tc{i}",
+                                 clock=self._clock)
                 for i in range(config.num_cores)
             ]
         else:
@@ -112,6 +118,10 @@ class PersistentMemoryAccelerator:
         self.uncorrectable_handler: Optional[
             Callable[[int, TxEntry], None]] = None
         memory.set_nvm_ack_handler(self.on_ack)
+
+    def _clock(self) -> int:
+        """Timestamp source handed to the (otherwise passive) TCs."""
+        return self.sim.now
 
     # ------------------------------------------------------------------
     # CPU side
@@ -152,6 +162,10 @@ class PersistentMemoryAccelerator:
         for entry in self.tcs[core_id].take_issuable(limit=budget):
             self._outstanding[core_id] += 1
             self._ecc_read_committed(core_id, entry)
+            if self.tracer.enabled:
+                self.tracer.instant("tc", f"tc{core_id}", "issue",
+                                    self.sim.now, line=entry.tag,
+                                    seq=entry.seq, tx=entry.tx_id)
             self.memory.write(
                 entry.tag, entry.version,
                 persistent=True, tx_id=entry.tx_id,
@@ -180,6 +194,9 @@ class PersistentMemoryAccelerator:
         if was_full and not tc.is_full():
             waiters = self._space_waiters[core_id]
             self._space_waiters[core_id] = []
+            if waiters and self.tracer.enabled:
+                self.tracer.instant("tc", f"tc{core_id}", "space.wakeup",
+                                    self.sim.now, waiters=len(waiters))
             for resume in waiters:
                 self.sim.schedule(self.latency, resume)
 
@@ -198,6 +215,9 @@ class PersistentMemoryAccelerator:
             return
         self.stats.inc("ack.timeouts")
         self.stats.inc("ack.reissues")
+        if self.tracer.enabled:
+            self.tracer.instant("tc", f"tc{core_id}", "ack.reissue",
+                                self.sim.now, line=entry.tag, seq=entry.seq)
         entry.reissues += 1
         entry.issue_cycle = self.sim.now
         self.memory.write(

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional
 from ..common.config import TxCacheConfig
 from ..common.stats import ScopedStats
 from ..common.types import Version, line_addr
+from ..obs.tracer import NULL_TRACER, NullTracer
 from .txcache import TxEntry, TxState
 
 
@@ -37,9 +38,16 @@ class SetAssocTransactionBuffer:
 
     def __init__(self, config: TxCacheConfig, stats: ScopedStats,
                  seq_source: Optional[Callable[[], int]] = None,
-                 assoc: int = 4) -> None:
+                 assoc: int = 4,
+                 tracer: NullTracer = NULL_TRACER, track: str = "tc",
+                 clock: Optional[Callable[[], int]] = None) -> None:
         self.config = config
         self.stats = stats
+        # same observability surface as TransactionCache (the sampler
+        # probes __len__; per-event emission stays on the CAM FIFO)
+        self.tracer = tracer
+        self._track = track
+        self._clock = clock or (lambda: 0)
         self.capacity = config.num_entries
         if self.capacity % assoc:
             raise ValueError(

@@ -40,6 +40,7 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional
 from ..common.config import MachineConfig, TxCacheConfig
 from ..common.stats import ScopedStats
 from ..common.types import Version, line_addr
+from ..obs.tracer import NULL_TRACER, NullTracer
 
 
 class TxState(enum.Enum):
@@ -66,7 +67,9 @@ class TransactionCache:
     """CAM-FIFO data array of one core's transaction cache."""
 
     def __init__(self, config: TxCacheConfig, stats: ScopedStats,
-                 seq_source: Optional[Callable[[], int]] = None) -> None:
+                 seq_source: Optional[Callable[[], int]] = None,
+                 tracer: NullTracer = NULL_TRACER, track: str = "tc",
+                 clock: Optional[Callable[[], int]] = None) -> None:
         self.config = config
         self.stats = stats
         self.capacity = config.num_entries
@@ -78,6 +81,15 @@ class TransactionCache:
         #: entry ordering clock; shareable across TCs so cross-core
         #: probes can pick the globally newest entry
         self._seq_source = seq_source
+        # observability: the TC is passive (no simulator reference), so
+        # the accelerator hands it a cycle-clock for event timestamps
+        self.tracer = tracer
+        self._track = track
+        self._clock = clock or (lambda: 0)
+
+    def _trace_occupancy(self) -> None:
+        self.tracer.counter("tc", self._track, "occupancy", self._clock(),
+                            entries=len(self._ring))
 
     # ------------------------------------------------------------------
     # occupancy
@@ -129,6 +141,9 @@ class TransactionCache:
                     return True
         if self.is_full():
             self.stats.inc("write.rejected_full")
+            if self.tracer.enabled:
+                self.tracer.instant("tc", self._track, "write.rejected",
+                                    self._clock(), tx=tx_id)
             return False
         seq = self._seq_source() if self._seq_source else self._head_seq
         entry = TxEntry(seq=seq, tx_id=tx_id,
@@ -136,6 +151,8 @@ class TransactionCache:
         self._ring.append(entry)
         self._head_seq += 1
         self.stats.inc("write.inserted")
+        if self.tracer.enabled:
+            self._trace_occupancy()
         return True
 
     def commit(self, tx_id: int) -> List[TxEntry]:
@@ -149,6 +166,10 @@ class TransactionCache:
                 committed.append(entry)
         self.stats.inc("commit.requests")
         self.stats.inc("commit.entries", len(committed))
+        if self.tracer.enabled:
+            self.tracer.instant("tc", self._track, "commit",
+                                self._clock(), tx=tx_id,
+                                entries=len(committed))
         return committed
 
     def take_issuable(self, limit: Optional[int] = None) -> List[TxEntry]:
@@ -189,6 +210,8 @@ class TransactionCache:
                 entry.state = TxState.AVAILABLE
                 self.stats.inc("ack.matched")
                 self._sweep_tail()
+                if self.tracer.enabled:
+                    self._trace_occupancy()
                 return entry
         self.stats.warn(
             "ack.unmatched",
@@ -223,6 +246,10 @@ class TransactionCache:
                 dropped.append(entry)
         self._sweep_tail()
         self.stats.inc("overflow.dropped_entries", len(dropped))
+        if self.tracer.enabled and dropped:
+            self.tracer.instant("tc", self._track, "overflow.drop",
+                                self._clock(), tx=tx_id, entries=len(dropped))
+            self._trace_occupancy()
         return dropped
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from ..common.config import CoreConfig
 from ..common.event import Simulator
 from ..common.stats import ScopedStats
 from ..cpu.trace import OpType, Trace, TraceOp
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..persistence.base import PersistenceScheme
 
 
@@ -42,12 +43,15 @@ class Core:
         config: CoreConfig,
         stats: ScopedStats,
         scheme: PersistenceScheme,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.core_id = core_id
         self.config = config
         self.stats = stats
         self.scheme = scheme
+        self.tracer = tracer
+        self._track = f"core{core_id}"  # tracer thread label
         # architectural registers of the paper's Fig. 5
         self.mode_tx: Optional[int] = None   # TxID/Mode register (None = normal)
         self.next_tx_id: int = 1             # Next TxID register
@@ -59,6 +63,10 @@ class Core:
         self._sb_tokens = config.store_buffer_entries
         self._sb_waiting = False
         self.done = False
+        # stall attribution: the scheme names the reason it is about to
+        # delay this core for; the completion helper charges the cycles
+        self._stall_reason: Optional[str] = None
+        self._tx_begin_cycle = 0
         # headline metrics
         self.instructions_retired = 0
         self.committed_transactions = 0
@@ -98,6 +106,9 @@ class Core:
             return
         self.done = True
         self.stats.inc("finished", 1)
+        if self.tracer.enabled:
+            self.tracer.instant("core", self._track, "finished", self.cycle,
+                                instructions=self.instructions_retired)
         if self._on_done is not None:
             self._on_done()
 
@@ -105,6 +116,30 @@ class Core:
         """Move past the current op and continue execution."""
         self._ip += 1
         self._step()
+
+    # -- stall attribution ---------------------------------------------
+    def attribute_stall(self, reason: str) -> None:
+        """Called by the persistence scheme *before* it delays this
+        core's current op: the next completion charges its stalled
+        cycles to ``reason`` (e.g. ``tc_full``, ``flush``, ``ack_wait``)
+        instead of the op's default."""
+        self._stall_reason = reason
+
+    def _account_stall(self, issued: int, default_reason: str) -> None:
+        """Charge the current op's stall (cycles beyond its 1-cycle
+        issue slot) to one reason, and maintain ``stall.total`` at the
+        same site — so per-kind counters sum to the total *by
+        construction* (the invariant :class:`repro.obs.StallReport`
+        asserts)."""
+        reason = self._stall_reason or default_reason
+        self._stall_reason = None
+        stall = self.cycle - issued - 1
+        if stall > 0:
+            self.stats.inc(f"stall.{reason}", stall)
+            self.stats.inc("stall.total", stall)
+            if self.tracer.enabled:
+                self.tracer.complete("core", self._track,
+                                     f"stall.{reason}", issued + 1, stall)
 
     # ------------------------------------------------------------------
     def _dispatch(self, op: TraceOp) -> None:
@@ -130,9 +165,7 @@ class Core:
             else:
                 # Memory miss: resumed by the fill event.
                 self.cycle = max(self.sim.now, issued + 1)
-            stall = self.cycle - issued - 1
-            if stall > 0:
-                self.stats.inc("stall.load", stall)
+            self._account_stall(issued, "load")
             self.stats.sample("load.latency", latency)
             if op.persistent:
                 self.stats.sample("persist_load.latency", latency)
@@ -156,7 +189,7 @@ class Core:
                 self.cycle = issued + max(1, latency)
             else:
                 self.cycle = max(self.sim.now, issued + 1)
-                self.stats.inc("stall.store_issue", self.cycle - issued - 1)
+            self._account_stall(issued, "store_issue")
             self.instructions_retired += 1
             self._advance()
 
@@ -167,7 +200,14 @@ class Core:
         if self._sb_waiting:
             self._sb_waiting = False
             resume_at = max(self.cycle, self.sim.now)
-            self.stats.inc("stall.store_buffer", resume_at - self.cycle)
+            stall = resume_at - self.cycle
+            if stall > 0:
+                self.stats.inc("stall.store_buffer", stall)
+                self.stats.inc("stall.total", stall)
+                if self.tracer.enabled:
+                    self.tracer.complete("core", self._track,
+                                         "stall.store_buffer",
+                                         self.cycle, stall)
             self.cycle = resume_at
             self.sim.schedule_at(resume_at, self._step)
 
@@ -177,9 +217,11 @@ class Core:
         # TX_BEGIN: copy next TxID into the mode register, bump it (§4.2).
         self.mode_tx = op.tx_id
         self.next_tx_id = (op.tx_id or 0) + 1
+        self._tx_begin_cycle = issued
 
         def resume() -> None:
             self.cycle = max(self.sim.now, issued + 1)
+            self._account_stall(issued, "commit")
             self.instructions_retired += 1
             self._advance()
 
@@ -190,9 +232,11 @@ class Core:
 
         def resume() -> None:
             self.cycle = max(self.sim.now, issued + 1)
-            stall = self.cycle - issued - 1
-            if stall > 0:
-                self.stats.inc("stall.commit", stall)
+            self._account_stall(issued, "commit")
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "core", self._track, "tx", self._tx_begin_cycle,
+                    self.cycle - self._tx_begin_cycle, tx=op.tx_id)
             self.mode_tx = None
             self.committed_transactions += 1
             self.instructions_retired += 1
@@ -206,6 +250,7 @@ class Core:
 
         def resume() -> None:
             self.cycle = max(self.sim.now, issued + 1)
+            self._account_stall(issued, "fence")
             self.instructions_retired += 1
             self._advance()
 
@@ -216,9 +261,7 @@ class Core:
 
         def resume() -> None:
             self.cycle = max(self.sim.now, issued + 1)
-            stall = self.cycle - issued - 1
-            if stall > 0:
-                self.stats.inc("stall.fence", stall)
+            self._account_stall(issued, "fence")
             self.instructions_retired += 1
             self._advance()
 

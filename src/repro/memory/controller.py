@@ -44,6 +44,7 @@ from ..common.config import MemCtrlConfig
 from ..common.event import Simulator
 from ..common.stats import ScopedStats
 from ..common.types import MemReqType, MemRequest, Version
+from ..obs.tracer import NULL_TRACER, NullTracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.injector import FaultInjector
@@ -114,6 +115,7 @@ class MemoryController:
         durable_image: Optional[DurableImage] = None,
         ack_handler: Optional[AckHandler] = None,
         faults: Optional["FaultInjector"] = None,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         from .bank import BankArray
         from .queues import RequestQueue
@@ -125,6 +127,8 @@ class MemoryController:
         self.durable_image = durable_image
         self.ack_handler = ack_handler
         self.faults = faults
+        self.tracer = tracer
+        self._track = config.name  # tracer thread label for this channel
         self.banks = BankArray(config, freq_ghz=freq_ghz)
         self.read_queue = RequestQueue(f"{config.name}.rq", config.read_queue_entries)
         self.write_queue = RequestQueue(f"{config.name}.wq", config.write_queue_entries)
@@ -155,7 +159,14 @@ class MemoryController:
                 self.sim.schedule(self.FORWARD_LATENCY, self._finish_read, request)
                 return
             self.read_queue.push(request)
+        if self.tracer.enabled:
+            self._trace_queues()
         self._kick(self.sim.now + 1)
+
+    def _trace_queues(self) -> None:
+        self.tracer.counter("mem", self._track, "queues", self.sim.now,
+                            read=len(self.read_queue),
+                            write=len(self.write_queue))
 
     def busy(self) -> bool:
         """True while any request is queued or in the banks."""
@@ -198,8 +209,16 @@ class MemoryController:
         if not self._drain_mode and self.write_queue.occupancy >= high:
             self._drain_mode = True
             self.stats.inc("write.drain_entries")
+            if self.tracer.enabled:
+                self.tracer.instant("mem", self._track, "drain.enter",
+                                    self.sim.now,
+                                    write_queue=len(self.write_queue))
         elif self._drain_mode and self.write_queue.occupancy <= low:
             self._drain_mode = False
+            if self.tracer.enabled:
+                self.tracer.instant("mem", self._track, "drain.exit",
+                                    self.sim.now,
+                                    write_queue=len(self.write_queue))
 
     def _pick_request(self) -> Optional[MemRequest]:
         """FR-FCFS over the priority-ordered queues."""
@@ -217,6 +236,8 @@ class MemoryController:
             chosen = self._scan(queue, now)
             if chosen is not None:
                 queue.pop(chosen)
+                if self.tracer.enabled:
+                    self._trace_queues()
                 if chosen.is_write:
                     self._last_write_service = now
                 return chosen
@@ -253,8 +274,17 @@ class MemoryController:
         else:
             hit_cycles = timing.read_cycles(self.freq_ghz, row_hit=True)
             miss_cycles = timing.read_cycles(self.freq_ghz, row_hit=False)
-        done = self.banks.banks[bank].access(row, now, hit_cycles, miss_cycles)
+        bank_state = self.banks.banks[bank]
+        hits_before = bank_state.row_hits
+        done = bank_state.access(row, now, hit_cycles, miss_cycles)
         self._inflight += 1
+        if self.tracer.enabled:
+            # one track per bank: service window + actual row-hit outcome
+            self.tracer.complete(
+                "mem", f"{self._track}.bank{bank}",
+                "write" if request.is_write else "read",
+                now, done - now, line=request.line,
+                row_hit=int(bank_state.row_hits > hits_before))
         if request.is_write:
             self.sim.schedule_at(done, self._finish_write, request)
         else:

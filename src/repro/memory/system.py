@@ -20,6 +20,7 @@ from ..common.config import MachineConfig
 from ..common.event import Simulator
 from ..common.stats import Stats
 from ..common.types import MemReqType, MemRequest, MemSpace, Version, line_addr
+from ..obs.tracer import NULL_TRACER, NullTracer
 from .controller import AckHandler, DurableImage, MemoryController
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -38,6 +39,7 @@ class MemorySystem:
         stats: Stats,
         nvm_ack_handler: Optional[AckHandler] = None,
         faults: Optional["FaultInjector"] = None,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -54,12 +56,14 @@ class MemorySystem:
             durable_image=self.durable_image,
             ack_handler=nvm_ack_handler,
             faults=faults,
+            tracer=tracer,
         )
         self.dram = MemoryController(
             sim,
             config.dram,
             stats.scoped("mem.dram"),
             config.freq_ghz,
+            tracer=tracer,
         )
         #: architectural (program-visible) contents, both spaces
         self._contents: Dict[int, Optional[Version]] = {}

@@ -1,0 +1,70 @@
+"""Observability layer: cycle-domain tracing, epoch sampling, and
+stall attribution for the whole simulator.
+
+Three pieces, all off by default:
+
+* :class:`~repro.obs.tracer.Tracer` — a bounded-ring structured event
+  recorder that exports Chrome trace-event JSON (open in
+  https://ui.perfetto.dev or ``chrome://tracing``);
+* :class:`~repro.obs.sampler.EpochSampler` — snapshots registered
+  occupancy/queue-depth probes every K cycles into counter tracks;
+* :class:`~repro.obs.stalls.StallReport` — turns the core's per-source
+  stall counters into a per-core "cycles lost to X" table.
+
+:class:`Observability` bundles a tracer and sampling policy into the
+single optional object that :class:`repro.sim.system.System` and
+:func:`repro.sim.runner.run_experiment` accept.  It is deliberately
+*not* part of :class:`~repro.common.config.MachineConfig`: machine
+config feeds ``config_fingerprint`` and therefore the parallel
+engine's cache keys, and watching a run must never change what the
+run computes or where its results are cached.
+
+See ``docs/observability.md`` for the event taxonomy and usage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.event import Simulator
+from .sampler import EpochSampler
+from .schema import validate_chrome_trace
+from .stalls import PERSISTENCE_KINDS, STALL_KINDS, StallReport
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Observability", "Tracer", "NullTracer", "NULL_TRACER",
+    "EpochSampler", "StallReport", "STALL_KINDS", "PERSISTENCE_KINDS",
+    "validate_chrome_trace",
+]
+
+
+class Observability:
+    """One run's observability bundle: a tracer plus sampling policy.
+
+    Args:
+        epoch: sample registered probes every this many cycles
+            (0 = no time-series sampling).
+        ring_capacity: tracer ring size (newest events kept).
+        sample_every: per-name event decimation (1 = keep all).
+        tracer: pass an existing tracer instead of building one
+            (tests share a tracer across systems this way).
+    """
+
+    def __init__(self, epoch: int = 0, ring_capacity: int = 1 << 18,
+                 sample_every: int = 1,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer(
+            capacity=ring_capacity, sample_every=sample_every)
+        self.epoch = epoch
+        self.sampler: Optional[EpochSampler] = (
+            EpochSampler(self.tracer, epoch) if epoch > 0 else None)
+
+    def attach(self, sim: Simulator) -> None:
+        """Drive the epoch sampler from the kernel's advance hook."""
+        if self.sampler is not None:
+            sim.set_advance_hook(self.sampler.on_advance)
+
+    def write(self, path: str) -> None:
+        """Export the captured trace as Chrome trace-event JSON."""
+        self.tracer.write(path)

@@ -1,0 +1,68 @@
+"""Epoch-based time-series sampler.
+
+Aggregate counters say *how much*; the sampler says *when*.  Components
+register **probes** — zero-argument callables reading an instantaneous
+quantity (TC occupancy, memory queue depth, instructions retired) —
+and every ``epoch`` cycles the sampler reads them all and emits one
+Chrome ``counter`` event per probe into the tracer, producing the
+time-series tracks Perfetto plots under each process.
+
+The sampler is driven by the simulation kernel's *advance hook*
+(:meth:`repro.common.event.Simulator.set_advance_hook`), not by
+self-rescheduling events: a self-rescheduling sampler event would keep
+the event queue non-empty forever (``Simulator.run`` drains the queue
+to termination) and would interleave with component events, perturbing
+the deterministic (time, insertion-seq) order.  The hook fires between
+events, only when simulated time advances, so a sampled run executes
+the exact same component schedule as an unsampled one.
+
+Samples are stamped at the epoch boundary (the largest multiple of
+``epoch`` that is <= the new time).  When time jumps over several
+boundaries at once — common in an event-driven kernel — one sample per
+probe is recorded at the *last* crossed boundary rather than one per
+boundary: the intermediate values are unobservable anyway (no event
+fired, so no state changed), and this keeps trace size proportional to
+activity, not to idle time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from .tracer import NullTracer
+
+#: (pid, tid, name, probe) — labels match the tracer's track vocabulary
+Probe = Tuple[str, str, str, Callable[[], Any]]
+
+
+class EpochSampler:
+    """Snapshots registered probes every ``epoch`` cycles into a tracer."""
+
+    def __init__(self, tracer: NullTracer, epoch: int) -> None:
+        if epoch < 1:
+            raise ValueError(f"epoch must be >= 1 cycle, got {epoch}")
+        self.tracer = tracer
+        self.epoch = epoch
+        self._probes: List[Probe] = []
+        self._last_boundary = 0
+
+    def add_probe(self, pid: str, tid: str, name: str,
+                  probe: Callable[[], Any]) -> None:
+        """Register a probe; sampled in registration order each epoch."""
+        self._probes.append((pid, tid, name, probe))
+
+    def sample_now(self, now: int) -> None:
+        """Read every probe once, stamped at cycle ``now``."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        for pid, tid, name, probe in self._probes:
+            tracer.counter(pid, tid, name, now, value=probe())
+
+    def on_advance(self, now: int) -> None:
+        """Kernel advance hook: sample once when an epoch boundary is
+        crossed (stamped at the last crossed boundary)."""
+        boundary = (now // self.epoch) * self.epoch
+        if boundary > self._last_boundary:
+            self._last_boundary = boundary
+            self.sample_now(boundary)

@@ -1,0 +1,90 @@
+"""Structural validation of exported Chrome trace-event JSON.
+
+The Chrome trace-event format has no official JSON Schema; Perfetto
+and ``chrome://tracing`` accept what the format doc describes.  This
+module checks the subset the tracer emits, so tests and the CI
+trace-smoke job can assert "this file will load in Perfetto" without a
+browser: object-with-``traceEvents`` envelope, known phases, integer
+ids, non-negative cycle timestamps, durations on complete events,
+numeric series on counter events, and well-formed track-naming
+metadata.
+
+:func:`validate_chrome_trace` returns a list of human-readable
+problems (empty = valid) rather than raising, so callers can show all
+violations at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: event phases the tracer emits (subset of the Chrome format)
+KNOWN_PHASES = {"i", "X", "C", "M"}
+#: metadata record names that name tracks
+METADATA_NAMES = {"process_name", "thread_name"}
+
+
+def _check_event(event: Any, index: int, errors: List[str]) -> None:
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        errors.append(f"{where}: not an object")
+        return
+    ph = event.get("ph")
+    if ph not in KNOWN_PHASES:
+        errors.append(f"{where}: unknown phase {ph!r}")
+        return
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: missing/empty name")
+    for key in ("pid", "tid"):
+        if not isinstance(event.get(key), int):
+            errors.append(f"{where}: {key} must be an integer, "
+                          f"got {event.get(key)!r}")
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        errors.append(f"{where}: ts must be a non-negative number, got {ts!r}")
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+            errors.append(f"{where}: complete event needs dur >= 0, "
+                          f"got {dur!r}")
+    elif ph == "C":
+        args = event.get("args")
+        if not isinstance(args, dict) or not args:
+            errors.append(f"{where}: counter event needs non-empty args")
+        else:
+            for series, value in args.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(f"{where}: counter series {series!r} "
+                                  f"must be numeric, got {value!r}")
+    elif ph == "M":
+        if name not in METADATA_NAMES:
+            errors.append(f"{where}: metadata name {name!r} not in "
+                          f"{sorted(METADATA_NAMES)}")
+        args = event.get("args")
+        if not (isinstance(args, dict)
+                and isinstance(args.get("name"), str) and args["name"]):
+            errors.append(f"{where}: metadata event needs args.name string")
+
+
+def validate_chrome_trace(trace: Any) -> List[str]:
+    """All structural problems with a parsed trace object (empty = ok)."""
+    errors: List[str] = []
+    if not isinstance(trace, dict):
+        return ["top level: expected a JSON object with 'traceEvents'"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level: 'traceEvents' missing or not a list"]
+    for index, event in enumerate(events):
+        _check_event(event, index, errors)
+    # every (pid) referenced by a non-metadata event should have a
+    # process_name record, or Perfetto shows bare numbers
+    named_pids = {e.get("pid") for e in events
+                  if isinstance(e, dict) and e.get("ph") == "M"
+                  and e.get("name") == "process_name"}
+    used_pids = {e.get("pid") for e in events
+                 if isinstance(e, dict) and e.get("ph") != "M"}
+    for pid in sorted(p for p in used_pids - named_pids
+                      if isinstance(p, int)):
+        errors.append(f"pid {pid} has events but no process_name metadata")
+    return errors

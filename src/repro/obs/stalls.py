@@ -1,0 +1,157 @@
+"""Per-core, per-source stall attribution — the "cycles lost to X" view.
+
+The paper's Fig. 6 argument is a stall-attribution argument: SP loses
+its cycles to ordering (fence waits on clwb round-trips), Kiln to
+commit flushes, the transaction cache to almost nothing.  The core
+(:mod:`repro.cpu.core`) attributes every stalled cycle to exactly one
+source at the moment the stalling op completes, and maintains
+``stall.total`` at the same sites — so per core,
+
+    sum(stall.<kind> for kind in STALL_KINDS) == stall.total
+
+holds *by construction*.  :class:`StallReport` reads those counters
+back out of a :class:`~repro.common.stats.Stats` registry (or the
+``raw_stats`` of a cached :class:`~repro.sim.runner.SimulationResult`),
+checks the invariant, and renders the per-core breakdown table the
+``trace``/``figures`` CLI prints.
+
+Stall taxonomy (who sets it, when):
+
+========================  ==============================================
+kind                      attributed when
+========================  ==============================================
+``load``                  a load missed beyond the OoO hide window
+``store_issue``           a store's issue was delayed by the hierarchy
+``store_buffer``          the finite store buffer was full at dispatch
+``fence``                 sfence waited on outstanding clwb writebacks
+                          (SP's ordering cost), or a clwb itself stalled
+``commit``                tx_begin/tx_end waited with no more specific
+                          reason (e.g. SP's commit-record round-trip)
+``flush``                 Kiln's tx_end blocked flushing lines to NV-LLC
+``tc_full``               a TC write back-pressured until space freed
+``ack_wait``              a COW-overflow commit waited for its commit
+                          record to be durable in NVM
+========================  ==============================================
+
+The scheme picks the *reason*; the core does the *arithmetic*: a
+scheme that is about to delay a core calls
+``core.attribute_stall(kind)`` and the core's completion helper
+charges the measured stall to that kind (falling back to the op's
+default — ``load``/``fence``/``commit``/... — when no scheme spoke up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+#: every attributable stall source, in report-column order
+STALL_KINDS = ("load", "store_issue", "store_buffer", "fence",
+               "commit", "flush", "tc_full", "ack_wait")
+
+#: the kinds caused by the *persistence mechanism* (vs. plain memory
+#: behaviour) — the share Fig. 6 is really about
+PERSISTENCE_KINDS = ("fence", "commit", "flush", "tc_full", "ack_wait")
+
+
+@dataclass
+class StallReport:
+    """Per-core "cycles lost to X" breakdown for one run."""
+
+    cycles: int                                 # run length in cycles
+    per_core: Dict[int, Dict[str, float]]       # core → kind → cycles
+    workload: str = ""
+    scheme: str = ""
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_counters(cls, counters: Mapping[str, float], cycles: int,
+                      workload: str = "", scheme: str = "") -> "StallReport":
+        """Build from flat ``core.<id>.stall.<kind>`` counters — either
+        a live ``Stats.as_dict()`` or a cached result's ``raw_stats``."""
+        per_core: Dict[int, Dict[str, float]] = {}
+        for key, value in counters.items():
+            parts = key.split(".")
+            # core.<id>.stall.<kind> — kinds are single tokens, so
+            # derived sample keys (e.g. load.latency.mean) never match
+            if (len(parts) == 4 and parts[0] == "core"
+                    and parts[2] == "stall"
+                    and (parts[3] in STALL_KINDS or parts[3] == "total")):
+                core = int(parts[1])
+                per_core.setdefault(core, {})[parts[3]] = value
+        for kinds in per_core.values():
+            for kind in STALL_KINDS:
+                kinds.setdefault(kind, 0.0)
+            kinds.setdefault("total", 0.0)
+        return cls(cycles=cycles, per_core=dict(sorted(per_core.items())),
+                   workload=workload, scheme=scheme)
+
+    @classmethod
+    def from_result(cls, result) -> "StallReport":
+        """Build from a :class:`~repro.sim.runner.SimulationResult`
+        (requires ``raw_stats``, i.e. a result collected normally)."""
+        return cls.from_counters(result.raw_stats, cycles=result.cycles,
+                                 workload=result.workload,
+                                 scheme=result.scheme.value)
+
+    # -- aggregation ---------------------------------------------------
+    def totals(self) -> Dict[str, float]:
+        """Stall cycles summed over cores, kind → cycles (+ ``total``)."""
+        out = {kind: 0.0 for kind in STALL_KINDS}
+        out["total"] = 0.0
+        for kinds in self.per_core.values():
+            for kind, value in kinds.items():
+                out[kind] = out.get(kind, 0) + value
+        return out
+
+    def share(self, kind: str) -> float:
+        """Fraction of all stall cycles attributed to ``kind``
+        (0.0 when the run never stalled)."""
+        totals = self.totals()
+        return totals[kind] / totals["total"] if totals["total"] else 0.0
+
+    def persistence_share_of_cycles(self) -> float:
+        """Persistence-mechanism stall cycles (worst core) as a
+        fraction of run cycles — the "overhead the mechanism adds"
+        number Fig. 6 plots the complement of."""
+        if not self.cycles:
+            return 0.0
+        worst = max((sum(kinds[k] for k in PERSISTENCE_KINDS)
+                     for kinds in self.per_core.values()), default=0.0)
+        return worst / self.cycles
+
+    # -- invariant -----------------------------------------------------
+    def attribution_errors(self) -> List[str]:
+        """Violations of the sum-to-total invariant (empty = healthy)."""
+        errors = []
+        for core, kinds in self.per_core.items():
+            attributed = sum(kinds[k] for k in STALL_KINDS)
+            if attributed != kinds["total"]:
+                errors.append(
+                    f"core {core}: attributed {attributed:g} != "
+                    f"stall.total {kinds['total']:g}")
+        return errors
+
+    # -- rendering -----------------------------------------------------
+    def format(self) -> str:
+        """Fixed-width per-core table plus a totals row."""
+        header = f"{'core':>6}" + "".join(
+            f"{kind:>13}" for kind in STALL_KINDS + ("total",))
+        lines = []
+        title = "stall attribution (cycles)"
+        if self.workload or self.scheme:
+            title += f" — {self.workload}/{self.scheme}"
+        lines.append(title)
+        lines.append(header)
+        for core, kinds in self.per_core.items():
+            lines.append(f"{core:>6}" + "".join(
+                f"{kinds[kind]:>13g}" for kind in STALL_KINDS + ("total",)))
+        totals = self.totals()
+        lines.append(f"{'all':>6}" + "".join(
+            f"{totals[kind]:>13g}" for kind in STALL_KINDS + ("total",)))
+        if self.cycles:
+            lines.append(
+                f"persistence stalls (fence+commit+flush+tc_full+ack_wait):"
+                f" {self.persistence_share_of_cycles():.1%} of "
+                f"{self.cycles} cycles (worst core)")
+        return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Cycle-stamped structured event tracer with Chrome trace-event export.
+
+The tracer records three kinds of events, mirroring the Chrome
+trace-event (Perfetto / ``chrome://tracing``) vocabulary:
+
+* **instant** (``ph: "i"``) — something happened at one cycle
+  (an LLC miss, a drain-mode transition, a dropped ack);
+* **complete** (``ph: "X"``) — something spanned a cycle range
+  (a core stall with its attributed reason, a Kiln commit flush,
+  a transaction from TX_BEGIN to TX_END);
+* **counter** (``ph: "C"``) — a numeric time series sampled at a
+  cycle (TC occupancy, memory queue depths).
+
+Events carry a ``(pid, tid)`` pair of *string labels* — one "process"
+per component (``core``, ``tc``, ``mem``, ``cache``, ``scheme``) and
+one "thread" per sub-unit (``core0``, ``nvm.bank3``).  Labels are
+mapped to the integer ids the Chrome format requires at export time,
+with ``process_name`` / ``thread_name`` metadata events so Perfetto
+shows readable tracks.  Timestamps are simulated cycles, written
+verbatim into ``ts`` (Perfetto displays them as µs; the exported JSON
+says so in ``otherData.clock``).
+
+Two mechanisms keep million-op traces tractable:
+
+* a **bounded ring buffer** (``collections.deque(maxlen=capacity)``)
+  that keeps the *newest* events and counts what it evicted, and
+* optional **deterministic decimation**: with ``sample_every=N`` only
+  every N-th event *per event name* is recorded.  The decimation
+  counter is per-name and purely arithmetic — no RNG, no wall clock —
+  so two identical runs emit byte-identical traces.
+
+Zero overhead when disabled: call sites guard every emission with
+``if tracer.enabled:`` and the shared :data:`NULL_TRACER` singleton
+answers ``enabled = False``, so a disabled run executes one attribute
+load and a branch per would-be event and allocates nothing.  Disabled
+runs are bit-identical to a build without the tracer (asserted by
+``tests/test_observability.py`` against the golden figures).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+# Event record layout inside the ring: (ph, pid, tid, name, ts, dur, args)
+_Record = Tuple[str, str, str, str, int, int, Optional[Tuple[Tuple[str, Any], ...]]]
+
+
+class NullTracer:
+    """Disabled tracer: ``enabled`` is False and every emit is a no-op.
+
+    Call sites are expected to check ``tracer.enabled`` before calling
+    an emit method (that keeps the hot path to one branch), but the
+    methods are still safe to call directly.
+    """
+
+    enabled = False
+
+    def instant(self, pid: str, tid: str, name: str, ts: int, **args: Any) -> None:
+        pass
+
+    def complete(self, pid: str, tid: str, name: str, ts: int, dur: int,
+                 **args: Any) -> None:
+        pass
+
+    def counter(self, pid: str, tid: str, name: str, ts: int, **values: Any) -> None:
+        pass
+
+
+#: shared disabled tracer — the default for every component parameter,
+#: so constructing a system without observability allocates nothing.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Recording tracer backed by a bounded ring buffer.
+
+    Args:
+        capacity: maximum events retained; older events are evicted
+            first (the ring keeps the *newest* — the end of a run is
+            usually what a post-mortem needs).
+        sample_every: record only every N-th event per event name
+            (1 = record everything).  Counter events bypass decimation:
+            a decimated time series would alias, and the epoch sampler
+            already bounds their rate.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1 << 18, sample_every: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self._ring: Deque[_Record] = deque(maxlen=capacity)
+        self._seen: Dict[str, int] = {}
+        #: events accepted into the ring (post-decimation), total
+        self.emitted = 0
+        #: events skipped by decimation, total
+        self.decimated = 0
+
+    # -- emission ------------------------------------------------------
+    def _admit(self, name: str) -> bool:
+        """Deterministic per-name decimation: admit every N-th event."""
+        if self.sample_every == 1:
+            return True
+        seen = self._seen.get(name, 0)
+        self._seen[name] = seen + 1
+        if seen % self.sample_every:
+            self.decimated += 1
+            return False
+        return True
+
+    def instant(self, pid: str, tid: str, name: str, ts: int, **args: Any) -> None:
+        if self._admit(name):
+            self.emitted += 1
+            self._ring.append(
+                ("i", pid, tid, name, ts, 0,
+                 tuple(sorted(args.items())) if args else None))
+
+    def complete(self, pid: str, tid: str, name: str, ts: int, dur: int,
+                 **args: Any) -> None:
+        if self._admit(name):
+            self.emitted += 1
+            self._ring.append(
+                ("X", pid, tid, name, ts, dur,
+                 tuple(sorted(args.items())) if args else None))
+
+    def counter(self, pid: str, tid: str, name: str, ts: int, **values: Any) -> None:
+        self.emitted += 1
+        self._ring.append(
+            ("C", pid, tid, name, ts, 0, tuple(sorted(values.items()))))
+
+    # -- inspection ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring by newer ones."""
+        return self.emitted - len(self._ring)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Retained events as plain dicts (oldest first), string labels."""
+        out = []
+        for ph, pid, tid, name, ts, dur, args in self._ring:
+            event: Dict[str, Any] = {
+                "ph": ph, "pid": pid, "tid": tid, "name": name, "ts": ts}
+            if ph == "X":
+                event["dur"] = dur
+            if args is not None:
+                event["args"] = dict(args)
+            out.append(event)
+        return out
+
+    def event_counts(self) -> Dict[str, int]:
+        """Retained event count per name, sorted by name."""
+        counts: Dict[str, int] = {}
+        for _ph, _pid, _tid, name, _ts, _dur, _args in self._ring:
+            counts[name] = counts.get(name, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- export --------------------------------------------------------
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The retained events as a Chrome trace-event JSON object.
+
+        String pid/tid labels are assigned integer ids in first-seen
+        order over the retained events (deterministic), and matching
+        ``process_name`` / ``thread_name`` metadata events are
+        prepended so Perfetto renders labelled tracks.
+        """
+        pid_ids: Dict[str, int] = {}
+        tid_ids: Dict[Tuple[str, str], int] = {}
+        body: List[Dict[str, Any]] = []
+        for ph, pid, tid, name, ts, dur, args in self._ring:
+            pid_id = pid_ids.setdefault(pid, len(pid_ids) + 1)
+            tid_id = tid_ids.setdefault((pid, tid), len(tid_ids) + 1)
+            event: Dict[str, Any] = {
+                "name": name, "ph": ph, "ts": ts, "pid": pid_id, "tid": tid_id}
+            if ph == "X":
+                event["dur"] = dur
+            elif ph == "i":
+                event["s"] = "t"  # instant scope: thread
+            if args is not None:
+                event["args"] = dict(args)
+            body.append(event)
+        meta: List[Dict[str, Any]] = []
+        for label, pid_id in pid_ids.items():
+            meta.append({"name": "process_name", "ph": "M", "ts": 0,
+                         "pid": pid_id, "tid": 0,
+                         "args": {"name": label}})
+        for (pid, label), tid_id in tid_ids.items():
+            meta.append({"name": "thread_name", "ph": "M", "ts": 0,
+                         "pid": pid_ids[pid], "tid": tid_id,
+                         "args": {"name": label}})
+        return {
+            "traceEvents": meta + body,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "cycles",
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+                "decimated": self.decimated,
+            },
+        }
+
+    def write(self, path: str) -> None:
+        """Write the Chrome trace JSON to ``path`` (deterministic bytes:
+        insertion-ordered events, sorted args, compact separators)."""
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, separators=(",", ":"))
+            fh.write("\n")

@@ -23,11 +23,15 @@ def create_scheme(
     stats,
     hierarchy,
     memory,
+    tracer=None,
 ) -> PersistenceScheme:
     """Instantiate a persistence scheme by name, wiring its hierarchy
-    and memory-system hooks."""
+    and memory-system hooks (and the observability tracer, if any)."""
+    from ..obs.tracer import NULL_TRACER
+
     cls = _SCHEMES[SchemeName.parse(name)]
-    return cls(sim, config, stats, hierarchy, memory)
+    return cls(sim, config, stats, hierarchy, memory,
+               tracer=tracer if tracer is not None else NULL_TRACER)
 
 
 __all__ = [

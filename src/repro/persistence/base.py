@@ -34,6 +34,7 @@ from ..common.stats import Stats
 from ..common.types import SchemeName, Version
 from ..cpu.trace import Trace
 from ..memory.system import MemorySystem
+from ..obs.tracer import NULL_TRACER, NullTracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cpu.core import Core
@@ -56,12 +57,14 @@ class PersistenceScheme:
         stats: Stats,
         hierarchy: CacheHierarchy,
         memory: MemorySystem,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.config = config
         self.stats = stats.scoped(f"scheme.{self.name.value}")
         self.hierarchy = hierarchy
         self.memory = memory
+        self.tracer = tracer
         #: transactions whose commit is complete from the scheme's view
         self.committed_tx: set = set()
 

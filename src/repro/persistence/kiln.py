@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from ..common.types import SchemeName, Version, is_home_line, line_addr
+from ..obs.tracer import NULL_TRACER
 from .base import PersistenceScheme, Resume, StoreIssue, StoreRetire
 
 
@@ -44,8 +45,9 @@ class KilnScheme(PersistenceScheme):
     #: (STT-RAM reads are slower; see paper §2.2 / [17]).
     NV_LLC_LATENCY_FACTOR = 1.5
 
-    def __init__(self, sim, config, stats, hierarchy, memory) -> None:
-        super().__init__(sim, config, stats, hierarchy, memory)
+    def __init__(self, sim, config, stats, hierarchy, memory,
+                 tracer=NULL_TRACER) -> None:
+        super().__init__(sim, config, stats, hierarchy, memory, tracer)
         hierarchy.llc_pin_predicate = self._pin_uncommitted
         # the LLC is now STT-RAM: every access through it is slower
         hierarchy.llc.latency = int(round(
@@ -119,6 +121,13 @@ class KilnScheme(PersistenceScheme):
             self._open_tx_versions.pop(tx_id, {})
 
         if flush_cycles:
+            # the committing core waits out the flush: charge it to
+            # "flush", not the generic tx_end default of "commit"
+            core.attribute_stall("flush")
+            if self.tracer.enabled:
+                self.tracer.complete("scheme", "kiln", "commit.flush",
+                                     self.sim.now, flush_cycles,
+                                     tx=tx_id, lines=len(lines))
             self.sim.schedule(flush_cycles, resume)
         else:
             resume()

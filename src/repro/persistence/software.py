@@ -38,6 +38,7 @@ from ..common.types import (
     line_addr,
 )
 from ..cpu.trace import OpType, Trace, TraceOp
+from ..obs.tracer import NULL_TRACER
 from .base import PersistenceScheme, Resume
 
 #: per-core undo-log regions (scheme metadata: above the home region)
@@ -68,8 +69,9 @@ class SoftwareScheme(PersistenceScheme):
 
     name = SchemeName.SP
 
-    def __init__(self, sim, config, stats, hierarchy, memory) -> None:
-        super().__init__(sim, config, stats, hierarchy, memory)
+    def __init__(self, sim, config, stats, hierarchy, memory,
+                 tracer=NULL_TRACER) -> None:
+        super().__init__(sim, config, stats, hierarchy, memory, tracer)
         self._log_cursor: Dict[int, int] = {}   # per-trace log allocation
         self._next_log_region = 0
         # outstanding clwb writebacks per core, and fence waiters
@@ -187,6 +189,19 @@ class SoftwareScheme(PersistenceScheme):
             resume()
             return
         self.stats.inc("fence_waits")
+        # the core charges the wait to "fence" by default; the phase
+        # marker makes the ordering stall visible on the scheme track
+        if self.tracer.enabled:
+            start = self.sim.now
+            inner = resume
+
+            def traced_resume() -> None:
+                self.tracer.complete("scheme", f"sp.core{core.core_id}",
+                                     "fence.wait", start,
+                                     self.sim.now - start)
+                inner()
+
+            resume = traced_resume
         self._fence_waiters.setdefault(core.core_id, []).append(resume)
 
     def tx_end(self, core, op, resume: Resume) -> None:

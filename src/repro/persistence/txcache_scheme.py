@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 from ..common.types import SchemeName, Version, is_home_line, line_addr
 from ..core.accelerator import PersistentMemoryAccelerator
 from ..core.overflow import OverflowManager
+from ..obs.tracer import NULL_TRACER
 from .base import PersistenceScheme, Resume, StoreIssue, StoreRetire
 
 
@@ -35,9 +36,11 @@ class TxCacheScheme(PersistenceScheme):
 
     name = SchemeName.TXCACHE
 
-    def __init__(self, sim, config, stats, hierarchy, memory) -> None:
-        super().__init__(sim, config, stats, hierarchy, memory)
-        self.accelerator = PersistentMemoryAccelerator(sim, config, stats, memory)
+    def __init__(self, sim, config, stats, hierarchy, memory,
+                 tracer=NULL_TRACER) -> None:
+        super().__init__(sim, config, stats, hierarchy, memory, tracer)
+        self.accelerator = PersistentMemoryAccelerator(
+            sim, config, stats, memory, tracer=tracer)
         self.overflow = OverflowManager(sim, memory, stats.scoped("tc.overflow"))
         self.accelerator.uncorrectable_handler = self._on_uncorrectable
         hierarchy.drop_persistent_evictions = True
@@ -161,25 +164,52 @@ class TxCacheScheme(PersistenceScheme):
             self._tc_write(core, tx_id, op, on_issue)
 
         self.stats.inc("tc_full_stalls")
+        # the store's issue is now delayed by TC back-pressure: charge
+        # the stalled cycles to "tc_full", not the generic store default
+        core.attribute_stall("tc_full")
+        if self.tracer.enabled:
+            self.tracer.instant("scheme", "txcache", "tc.full_stall",
+                                self.sim.now, core=core.core_id, tx=tx_id)
         self.accelerator.wait_for_space(core.core_id, retry)
 
     def _divert(self, core_id: int, tx_id: int) -> None:
         """Demote the running transaction to the COW fall-back path."""
         dropped = self.accelerator.tcs[core_id].drop_transaction(tx_id)
+        if self.tracer.enabled:
+            self.tracer.instant("scheme", "txcache", "cow.divert",
+                                self.sim.now, core=core_id, tx=tx_id,
+                                dropped=len(dropped))
         self.overflow.divert(
             core_id, tx_id, [(e.tag, e.version) for e in dropped])
 
     def tx_end(self, core, op, resume: Resume) -> None:
         tx_id = op.tx_id
         if self.overflow.is_fallback(tx_id):
-            def committed() -> None:
-                self.commit_cycle[tx_id] = self.sim.now
-                self.committed_tx.add(tx_id)
-                resume()
+            # the core waits for the COW commit record to be durable in
+            # the NVM — an acknowledgment wait, not a commit flush
+            core.attribute_stall("ack_wait")
+            if self.tracer.enabled:
+                start = self.sim.now
+
+                def committed() -> None:
+                    self.tracer.complete("scheme", "txcache", "cow.commit",
+                                         start, self.sim.now - start,
+                                         tx=tx_id)
+                    self.commit_cycle[tx_id] = self.sim.now
+                    self.committed_tx.add(tx_id)
+                    resume()
+            else:
+                def committed() -> None:
+                    self.commit_cycle[tx_id] = self.sim.now
+                    self.committed_tx.add(tx_id)
+                    resume()
 
             self.overflow.commit(core.core_id, tx_id, committed)
             return
         self.accelerator.cpu_commit(core.core_id, tx_id)
+        if self.tracer.enabled:
+            self.tracer.instant("scheme", "txcache", "commit.msg",
+                                self.sim.now, core=core.core_id, tx=tx_id)
         self.commit_cycle[tx_id] = self.sim.now
         self.committed_tx.add(tx_id)
         resume()

@@ -174,9 +174,10 @@ def run_chaos_crash(
     traces: Sequence[Trace],
     config: MachineConfig,
     total_cycles: Optional[int] = None,
+    obs=None,
 ) -> ChaosRun:
     """One crash run under fault injection, checked for atomicity."""
-    system = System(config, scheme)
+    system = System(config, scheme, obs=obs)
     system.load_traces(traces)
     system.run(until=crash_cycle)
     committed = system.scheme.durably_committed(crash_cycle)
@@ -205,6 +206,8 @@ def chaos_sweep(
     operations: int = 40,
     seed: int = 42,
     engine=None,
+    trace_dir=None,
+    trace_epoch: int = 0,
 ) -> ChaosReport:
     """Sweep fault injection × crash fractions × schemes × workloads.
 
@@ -260,11 +263,16 @@ def chaos_sweep(
                 points.append(ChaosPoint(
                     workload, scheme.value, crash_cycle, total,
                     faulty_configs[run_index], operations=operations,
-                    seed=seed))
+                    seed=seed, trace_dir=trace_dir,
+                    trace_epoch=trace_epoch))
                 run_index += 1
         report.runs = engine.run(points)
         return report
 
+    if trace_dir is not None:
+        raise ValueError("trace capture requires an engine "
+                         "(per-point trace files are keyed like cache "
+                         "entries)")
     run_index = 0
     for workload in workloads:
         traces = make_traces(workload, base.num_cores, operations,

@@ -148,6 +148,7 @@ def run_with_crash(
     seed: int = 42,
     total_cycles: Optional[int] = None,
     traces: Optional[Sequence[Trace]] = None,
+    obs=None,
     **workload_params,
 ) -> CrashReport:
     """Run a fresh system, crash it at ``crash_cycle``, recover, check.
@@ -155,10 +156,11 @@ def run_with_crash(
     The system is paused exactly at the crash cycle, so volatile state
     (caches, queues) is as a real crash would find it, and the scheme's
     nonvolatile structures (NVM image, TC contents, logs) are read in
-    place by its recovery model.
+    place by its recovery model.  ``obs`` optionally captures a trace
+    of the run up to the crash.
     """
     config = config or small_machine_config(num_cores=num_cores)
-    system = System(config, scheme)
+    system = System(config, scheme, obs=obs)
     if traces is None:
         traces = make_traces(workload, config.num_cores, operations,
                              seed=seed, **workload_params)
@@ -186,6 +188,8 @@ def crash_sweep(
     scheme: Union[str, SchemeName],
     fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
     engine=None,
+    trace_dir=None,
+    trace_epoch: int = 0,
     **kwargs,
 ) -> List[CrashReport]:
     """Crash the same experiment at several points of its execution.
@@ -222,9 +226,14 @@ def crash_sweep(
         points = [CrashPoint(workload, scheme_value,
                              max(1, int(total * fraction)), total, config,
                              operations=operations, seed=seed,
-                             workload_params=params)
+                             workload_params=params,
+                             trace_dir=trace_dir, trace_epoch=trace_epoch)
                   for fraction in fractions]
         return engine.run(points)
+    if trace_dir is not None:
+        raise ValueError("trace capture requires an engine "
+                         "(per-point trace files are keyed like cache "
+                         "entries)")
     if kwargs.get("traces") is None:
         config = kwargs.get("config")
         num_cores = (config.num_cores if config is not None

@@ -75,6 +75,30 @@ def _params_dict(params: WorkloadParams) -> Dict[str, object]:
     return dict(params)
 
 
+def _capture_obs(point):
+    """Build the point's observability bundle, or None when tracing is
+    off.  ``trace_dir``/``trace_epoch`` are deliberately **excluded**
+    from every point spec: tracing is read-only instrumentation, so a
+    traced run and an untraced run share one cache key (the engine
+    instead bypasses cache *reads* for traced points, so asking for a
+    trace always re-simulates and captures it)."""
+    if getattr(point, "trace_dir", None) is None:
+        return None
+    from ..obs import Observability
+
+    return Observability(epoch=point.trace_epoch)
+
+
+def _write_trace(point, obs) -> None:
+    """Write a traced point's Chrome trace next to its cache entry
+    naming: ``<trace_dir>/<point.key>.trace.json``."""
+    if obs is None:
+        return
+    root = pathlib.Path(point.trace_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    obs.write(root / f"{point.key}.trace.json")
+
+
 def make_params(params: Dict[str, object]) -> WorkloadParams:
     """Normalize a workload-parameter dict into the sorted tuple form
     point specs use (hashable, picklable, order-independent)."""
@@ -94,6 +118,9 @@ class ExperimentPoint:
     operations: int = 300
     seed: int = 42
     workload_params: WorkloadParams = ()
+    #: trace capture (not part of the spec/cache key — see _capture_obs)
+    trace_dir: Optional[str] = None
+    trace_epoch: int = 0
 
     kind = "experiment"
 
@@ -112,10 +139,12 @@ class ExperimentPoint:
         return point_key(self.kind, self.spec())
 
     def execute(self) -> Dict[str, object]:
+        obs = _capture_obs(self)
         result = run_experiment(
             self.workload, self.scheme, config=self.config,
-            operations=self.operations, seed=self.seed,
+            operations=self.operations, seed=self.seed, obs=obs,
             **_params_dict(self.workload_params))
+        _write_trace(self, obs)
         return result.to_dict(include_raw=True)
 
     @staticmethod
@@ -176,6 +205,9 @@ class CrashPoint:
     operations: int = 50
     seed: int = 42
     workload_params: WorkloadParams = ()
+    #: trace capture (not part of the spec/cache key — see _capture_obs)
+    trace_dir: Optional[str] = None
+    trace_epoch: int = 0
 
     kind = "crash"
 
@@ -200,11 +232,13 @@ class CrashPoint:
     def execute(self) -> Dict[str, object]:
         from .crash import run_with_crash
 
+        obs = _capture_obs(self)
         report = run_with_crash(
             self.workload, self.scheme, self.crash_cycle,
             config=self.config, operations=self.operations,
-            seed=self.seed, total_cycles=self.total_cycles,
+            seed=self.seed, total_cycles=self.total_cycles, obs=obs,
             **_params_dict(self.workload_params))
+        _write_trace(self, obs)
         return report.to_dict()
 
     @staticmethod
@@ -227,6 +261,9 @@ class ChaosPoint:
     operations: int = 40
     seed: int = 42
     workload_params: WorkloadParams = ()
+    #: trace capture (not part of the spec/cache key — see _capture_obs)
+    trace_dir: Optional[str] = None
+    trace_epoch: int = 0
 
     kind = "chaos"
 
@@ -253,9 +290,11 @@ class ChaosPoint:
         traces = make_traces(self.workload, self.config.num_cores,
                              self.operations, seed=self.seed,
                              **_params_dict(self.workload_params))
+        obs = _capture_obs(self)
         run = run_chaos_crash(self.workload, self.scheme,
                               self.crash_cycle, traces, self.config,
-                              total_cycles=self.total_cycles)
+                              total_cycles=self.total_cycles, obs=obs)
+        _write_trace(self, obs)
         return run.to_dict()
 
     @staticmethod
@@ -372,7 +411,12 @@ class ExperimentEngine:
         payloads: Dict[str, Dict[str, object]] = {}
         pending = []
         for key, point in first.items():
-            cached = self.cache.get(key) if self.cache is not None else None
+            # a traced point must actually simulate to capture its
+            # trace file, so cache *reads* are bypassed (the payload is
+            # still written through — tracing never changes results)
+            use_cache = (self.cache is not None
+                         and getattr(point, "trace_dir", None) is None)
+            cached = self.cache.get(key) if use_cache else None
             if cached is not None:
                 payloads[key] = cached
                 self.stats.inc("engine.cache.hits")

@@ -117,6 +117,41 @@ def format_figure(title: str,
     return "\n".join(lines)
 
 
+def format_stall_breakdown(results: ResultGrid,
+                           schemes: Sequence[SchemeName] = SCHEME_ORDER
+                           ) -> str:
+    """Render per-scheme stall-cycle composition — the "cycles lost to
+    X" story behind Fig. 6 (SP dominated by ordering stalls, Kiln by
+    commit flushes, TXCACHE near-zero persistence stalls).
+
+    ``stall/cyc`` is total stall cycles (all cores) per execution
+    cycle; the per-kind columns are each kind's share of the total
+    stall time.
+    """
+    from ..obs.stalls import STALL_KINDS
+
+    header = (f"{'workload':<12}{'scheme':<10}{'stalls':>10}"
+              f"{'stall/cyc':>10}"
+              + "".join(f"{kind:>13}" for kind in STALL_KINDS))
+    lines = ["Stall-cycle breakdown (share of total stall cycles)",
+             "=" * len(header), header, "-" * len(header)]
+    for workload, by_scheme in results.items():
+        for scheme in schemes:
+            result = by_scheme.get(scheme)
+            if result is None:
+                continue
+            stalls = result.stall_cycles
+            total = stalls.get("total", 0.0)
+            per_cycle = total / result.cycles if result.cycles else 0.0
+            cells = "".join(
+                f"{stalls.get(kind, 0.0) / total:>13.1%}" if total
+                else f"{'-':>13}" for kind in STALL_KINDS)
+            lines.append(f"{workload:<12}{scheme.value:<10}{total:>10.0f}"
+                         f"{per_cycle:>10.3f}{cells}")
+    lines.append("=" * len(header))
+    return "\n".join(lines)
+
+
 def format_bars(title: str,
                 rows: Mapping[str, Mapping[SchemeName, float]],
                 schemes: Sequence[SchemeName] = SCHEME_ORDER,

@@ -10,6 +10,8 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..common.config import MachineConfig, small_machine_config
 from ..common.types import SchemeName
 from ..cpu.trace import Trace
+from ..obs import Observability
+from ..obs.stalls import STALL_KINDS
 from ..workloads import create_workload
 from .system import System
 
@@ -139,7 +141,7 @@ def collect_result(system: System, workload: str = "") -> SimulationResult:
         return total / count if count else 0.0
 
     stall_cycles = {}
-    for kind in ("load", "commit", "fence", "store_buffer", "store_issue"):
+    for kind in STALL_KINDS + ("total",):
         stall_cycles[kind] = sum(
             stats.counter(f"core.{core.core_id}.stall.{kind}")
             for core, _t in active)
@@ -160,7 +162,9 @@ def collect_result(system: System, workload: str = "") -> SimulationResult:
         load_latency=weighted_mean(loads),
         tc_full_stall_events=stats.counter("tc.full_stalls"),
         stall_cycles=stall_cycles,
-        raw_stats=stats.as_dict(),
+        # dump(), not as_dict(): end-of-run collection also emits the
+        # "further N occurrences suppressed" warning summaries
+        raw_stats=stats.dump(),
     )
 
 
@@ -195,11 +199,12 @@ def run_experiment(
     operations: int = 300,
     seed: int = 42,
     traces: Optional[Sequence[Trace]] = None,
+    obs: Optional[Observability] = None,
     **workload_params,
 ) -> SimulationResult:
     """Run one (workload, scheme) experiment to completion."""
     config = config or small_machine_config(num_cores=num_cores)
-    system = System(config, scheme)
+    system = System(config, scheme, obs=obs)
     if traces is None:
         traces = make_traces(workload, config.num_cores, operations,
                              seed=seed, **workload_params)

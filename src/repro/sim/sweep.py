@@ -89,7 +89,8 @@ class Sweep:
 
     def run(self, workload: str, scheme: Union[str, SchemeName],
             base_config: Optional[MachineConfig] = None,
-            engine=None, **run_kwargs) -> SweepOutcome:
+            engine=None, trace_dir=None, trace_epoch: int = 0,
+            **run_kwargs) -> SweepOutcome:
         """Run the sweep grid.
 
         ``engine`` is an optional
@@ -98,7 +99,15 @@ class Sweep:
         every point's config is materialized and validated **before**
         the first simulation starts, so a bad knob value raises
         immediately instead of minutes into the grid.
+
+        ``trace_dir`` captures one Chrome trace per point (engine runs
+        only), named by the point's cache key; ``trace_epoch`` turns on
+        occupancy/queue-depth sampling every that-many cycles.
         """
+        if trace_dir is not None and engine is None:
+            raise ValueError("trace capture requires an engine "
+                             "(per-point trace files are keyed like "
+                             "cache entries)")
         base = base_config or small_machine_config()
         scheme_name = SchemeName.parse(scheme)
         configs = [self.configure(base, value) for value in self.values]
@@ -122,7 +131,9 @@ class Sweep:
             params = make_params(run_kwargs)
             points = [ExperimentPoint(workload, scheme_name.value, config,
                                       operations=operations, seed=seed,
-                                      workload_params=params)
+                                      workload_params=params,
+                                      trace_dir=trace_dir,
+                                      trace_epoch=trace_epoch)
                       for config in configs]
             results = engine.run(points)
             outcome.points = [SweepPoint(value=value, result=result)

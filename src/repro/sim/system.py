@@ -12,6 +12,8 @@ from ..common.types import SchemeName
 from ..cpu.core import Core
 from ..cpu.trace import Trace
 from ..memory.system import MemorySystem
+from ..obs import Observability
+from ..obs.tracer import NULL_TRACER
 from ..persistence import PersistenceScheme, create_scheme
 
 
@@ -24,10 +26,16 @@ class System:
     """
 
     def __init__(self, config: MachineConfig,
-                 scheme_name: Union[str, SchemeName]) -> None:
+                 scheme_name: Union[str, SchemeName],
+                 obs: Optional[Observability] = None) -> None:
         self.config = config
         self.sim = Simulator()
         self.stats = Stats()
+        # Observability is deliberately *not* part of MachineConfig —
+        # enabling a trace must never change config fingerprints or
+        # cache keys, only add read-only instrumentation.
+        self.obs = obs
+        tracer = obs.tracer if obs is not None else NULL_TRACER
         # Fault injection: constructed only when some fault can fire,
         # so the all-zero-rates default is a strict no-op (no injector,
         # no extra events, bit-identical baseline results).
@@ -37,18 +45,44 @@ class System:
 
             self.faults = FaultInjector(config.faults)
         self.memory = MemorySystem(self.sim, config, self.stats,
-                                   faults=self.faults)
-        self.hierarchy = CacheHierarchy(self.sim, config, self.stats, self.memory)
+                                   faults=self.faults, tracer=tracer)
+        self.hierarchy = CacheHierarchy(self.sim, config, self.stats,
+                                        self.memory, tracer=tracer)
         self.scheme: PersistenceScheme = create_scheme(
             scheme_name, self.sim, config, self.stats,
-            self.hierarchy, self.memory)
+            self.hierarchy, self.memory, tracer=tracer)
         self.cores: List[Core] = [
             Core(self.sim, core_id, config.core,
-                 self.stats.scoped(f"core.{core_id}"), self.scheme)
+                 self.stats.scoped(f"core.{core_id}"), self.scheme,
+                 tracer=tracer)
             for core_id in range(config.num_cores)
         ]
+        if obs is not None:
+            obs.attach(self.sim)
+            self._register_probes(obs)
         #: original (pre-instrumentation) traces, for metrics/checking
         self.source_traces: List[Trace] = []
+
+    def _register_probes(self, obs: Observability) -> None:
+        """Register epoch-sampler probes over the structures whose
+        occupancy tells the paper's story: TC fill levels and memory
+        controller queue depths."""
+        if obs.sampler is None:
+            return
+        accelerator = getattr(self.scheme, "accelerator", None)
+        if accelerator is not None:
+            for core_id, tc in enumerate(accelerator.tcs):
+                obs.sampler.add_probe(
+                    "tc", f"tc{core_id}", "occupancy_sampled",
+                    (lambda t=tc: len(t)))
+        for name, controller in (("nvm", self.memory.nvm),
+                                 ("dram", self.memory.dram)):
+            obs.sampler.add_probe(
+                "mem", name, "read_queue",
+                (lambda c=controller: len(c.read_queue)))
+            obs.sampler.add_probe(
+                "mem", name, "write_queue",
+                (lambda c=controller: len(c.write_queue)))
 
     @staticmethod
     def build(scheme_name: Union[str, SchemeName],

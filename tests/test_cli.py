@@ -119,3 +119,29 @@ class TestTrace:
             trace = Trace.load(fp)
         assert trace.transactions > 0
         trace.validate()
+
+
+class TestTraceSimulation:
+    def test_capture_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "sim.trace.json"
+        code = main(["trace", "--workload", "hashtable",
+                     "--scheme", "txcache", "--operations", "20",
+                     "--epoch", "50", "--out", str(out_file)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "stall attribution" in text
+        assert "perfetto" in text
+        from repro.obs.schema import validate_chrome_trace
+        trace = json.loads(out_file.read_text())
+        assert validate_chrome_trace(trace) == []
+
+    def test_positional_workload_also_works(self, tmp_path):
+        out_file = tmp_path / "sim.trace.json"
+        code = main(["trace", "sps", "--scheme", "sp",
+                     "--operations", "10", "--out", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+
+    def test_workload_required(self, capsys):
+        assert main(["trace"]) == 2
+        assert "workload is required" in capsys.readouterr().err

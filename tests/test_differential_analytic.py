@@ -34,6 +34,7 @@ import pytest
 
 from repro.common.config import small_machine_config
 from repro.common.types import SchemeName
+from repro.obs.stalls import StallReport
 from repro.sim.analytic import compare_with_simulation
 from repro.sim.runner import make_traces, run_comparison
 
@@ -135,3 +136,37 @@ class TestAnalyticTolerance:
         assert txc["simulated_relative"] > 0.55
         assert txc["simulated_relative"] > \
             comparison[SchemeName.SP]["simulated_relative"]
+
+
+@pytest.mark.parametrize("cell", GRID, ids=lambda c: f"{c[0]}-{c[1]}")
+class TestStallAttribution:
+    """The stall-attribution view of Fig. 6's argument, checked as
+    differential relations (measured shares across the grid: SP fence
+    share 0.91-0.95, Kiln fence share 0, Kiln flush share 0.22-0.43,
+    TXCACHE persistence stalls identically zero)."""
+
+    def test_sum_to_total_invariant_every_scheme(self, grid, cell):
+        """Per core, the per-kind attribution must sum exactly to the
+        measured total stall cycles — for every scheme in the grid."""
+        _config, _trace, results = grid[cell]
+        for scheme, result in results.items():
+            report = StallReport.from_result(result)
+            assert report.attribution_errors() == [], scheme
+
+    def test_sp_ordering_share_dominates_kiln(self, grid, cell):
+        """SP's stall budget is ordering (fence) stalls; Kiln commits
+        through NV-LLC flushes and never fences."""
+        _config, _trace, results = grid[cell]
+        sp = StallReport.from_result(results[SchemeName.SP])
+        kiln = StallReport.from_result(results[SchemeName.KILN])
+        assert sp.share("fence") > 0.5
+        assert sp.share("fence") > kiln.share("fence")
+        assert kiln.share("flush") > 0
+
+    def test_txcache_persistence_stalls_near_zero(self, grid, cell):
+        """The paper's claim: the accelerator keeps persistence off the
+        critical path — persistence-kind stalls stay below 5% of run
+        cycles (measured: identically zero on this grid)."""
+        _config, _trace, results = grid[cell]
+        txc = StallReport.from_result(results[SchemeName.TXCACHE])
+        assert txc.persistence_share_of_cycles() < 0.05

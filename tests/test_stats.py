@@ -67,3 +67,89 @@ def test_as_dict_flattens_samples():
     assert flat["s.count"] == 2
     assert flat["s.min"] == 4
     assert flat["s.max"] == 6
+
+
+def test_counters_and_as_dict_are_key_sorted():
+    """Serialized stats must not depend on component init order."""
+    stats = Stats()
+    stats.inc("zebra")
+    stats.inc("apple")
+    stats.sample("mid.latency", 3)
+    assert list(stats.counters()) == sorted(stats.counters())
+    flat = stats.as_dict()
+    assert list(flat) == sorted(flat)
+
+    # a second registry hit in the opposite order flattens identically
+    mirror = Stats()
+    mirror.sample("mid.latency", 3)
+    mirror.inc("apple")
+    mirror.inc("zebra")
+    assert list(mirror.as_dict()) == list(flat)
+
+
+class TestWarnSuppression:
+    def _overflow(self, stats, name, extra):
+        for i in range(Stats.MAX_EVENTS_PER_NAME + extra):
+            stats.warn(name, f"event {i}")
+
+    def test_counter_exact_sample_bounded(self):
+        stats = Stats()
+        self._overflow(stats, "oops", extra=5)
+        assert stats.counter("oops") == Stats.MAX_EVENTS_PER_NAME + 5
+        assert len(stats.events("oops")) == Stats.MAX_EVENTS_PER_NAME
+        assert stats.suppressed("oops") == 5
+
+    def test_flush_emits_one_summary(self, caplog):
+        stats = Stats()
+        self._overflow(stats, "oops", extra=3)
+        with caplog.at_level("WARNING", logger="repro.stats"):
+            stats.flush_suppressed()
+        summaries = [rec for rec in caplog.records
+                     if "suppressed" in rec.getMessage()]
+        assert len(summaries) == 1
+        assert "further 3 occurrences suppressed" in summaries[0].getMessage()
+
+    def test_flush_is_idempotent_and_reports_deltas(self, caplog):
+        stats = Stats()
+        self._overflow(stats, "oops", extra=2)
+        stats.flush_suppressed()
+        caplog.clear()
+        with caplog.at_level("WARNING", logger="repro.stats"):
+            stats.flush_suppressed()      # nothing new: silent
+        assert not [rec for rec in caplog.records
+                    if "suppressed" in rec.getMessage()]
+        stats.warn("oops", "late straggler")
+        caplog.clear()
+        with caplog.at_level("WARNING", logger="repro.stats"):
+            stats.flush_suppressed()      # only the delta
+        summaries = [rec for rec in caplog.records
+                     if "suppressed" in rec.getMessage()]
+        assert len(summaries) == 1
+        assert "further 1 occurrences suppressed" in summaries[0].getMessage()
+
+    def test_dump_flushes_and_returns_sorted_dict(self, caplog):
+        stats = Stats()
+        self._overflow(stats, "oops", extra=4)
+        with caplog.at_level("WARNING", logger="repro.stats"):
+            flat = stats.dump()
+        assert list(flat) == sorted(flat)
+        assert flat["oops"] == Stats.MAX_EVENTS_PER_NAME + 4
+        assert any("suppressed" in rec.getMessage()
+                   for rec in caplog.records)
+
+    def test_under_cap_never_summarizes(self, caplog):
+        stats = Stats()
+        stats.warn("rare", "only once")
+        with caplog.at_level("WARNING", logger="repro.stats"):
+            stats.flush_suppressed()
+        assert not [rec for rec in caplog.records
+                    if "suppressed" in rec.getMessage()]
+        assert stats.suppressed("rare") == 0
+
+    def test_scoped_warn_suppression(self):
+        stats = Stats()
+        scoped = stats.scoped("tc.0")
+        for i in range(Stats.MAX_EVENTS_PER_NAME + 2):
+            scoped.warn("ack.unmatched", f"ack {i}")
+        assert scoped.suppressed("ack.unmatched") == 2
+        assert stats.suppressed("tc.0.ack.unmatched") == 2
