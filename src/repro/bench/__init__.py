@@ -1,0 +1,23 @@
+"""Benchmark-regression harness (see :mod:`repro.bench.kernel`)."""
+
+from .kernel import (  # noqa: F401
+    FULL_POINTS,
+    SMOKE_POINTS,
+    BenchPoint,
+    calibrate,
+    compare_reports,
+    load_baseline,
+    measure_point,
+    run_bench,
+)
+
+__all__ = [
+    "BenchPoint",
+    "SMOKE_POINTS",
+    "FULL_POINTS",
+    "calibrate",
+    "measure_point",
+    "run_bench",
+    "compare_reports",
+    "load_baseline",
+]

@@ -12,6 +12,9 @@ from .line import CacheArray, CacheLine
 class CacheLevel:
     """Thin wrapper binding a :class:`CacheArray` to timing and stats."""
 
+    __slots__ = ("name", "config", "stats", "latency", "array",
+                 "_inc", "_k_access", "_k_miss", "_k_hit")
+
     def __init__(
         self,
         config: CacheLevelConfig,
@@ -23,15 +26,19 @@ class CacheLevel:
         self.stats = stats
         self.latency = config.latency_cycles(freq_ghz)
         self.array = CacheArray(config.num_sets, config.assoc, config.line_size)
+        # every cache access records 2 counters; resolve the registry
+        # keys once instead of formatting them per lookup
+        self._inc = stats.base.inc
+        self._k_access = stats.resolve("access")
+        self._k_miss = stats.resolve("miss")
+        self._k_hit = stats.resolve("hit")
 
     def access(self, line: int) -> Optional[CacheLine]:
         """Timed lookup: counts an access and a hit or miss."""
-        self.stats.inc("access")
+        inc = self._inc
+        inc(self._k_access)
         entry = self.array.lookup(line)
-        if entry is None:
-            self.stats.inc("miss")
-        else:
-            self.stats.inc("hit")
+        inc(self._k_miss if entry is None else self._k_hit)
         return entry
 
     def probe(self, line: int) -> Optional[CacheLine]:

@@ -11,23 +11,38 @@ behind the elevated LLC miss rate in the paper's Fig. 8.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from ..common.types import Version
 
 
-@dataclass
 class CacheLine:
-    """Metadata of one resident cache line."""
+    """Metadata of one resident cache line.
 
-    tag: int                     # full line address
-    dirty: bool = False
-    persistent: bool = False     # the paper's P/V flag
-    pinned: bool = False         # Kiln: uncommitted, not evictable
-    tx_id: Optional[int] = None
-    version: Optional[Version] = None
-    last_use: int = 0
+    ``__slots__`` rather than a dataclass: every cache lookup on a hit
+    touches a line's fields, and sweeps over resident lines (flushes,
+    recovery scans) touch all of them."""
+
+    __slots__ = ("tag", "dirty", "persistent", "pinned", "tx_id",
+                 "version", "last_use")
+
+    def __init__(self, tag: int, dirty: bool = False,
+                 persistent: bool = False, pinned: bool = False,
+                 tx_id: Optional[int] = None,
+                 version: Optional[Version] = None,
+                 last_use: int = 0) -> None:
+        self.tag = tag                   # full line address
+        self.dirty = dirty
+        self.persistent = persistent     # the paper's P/V flag
+        self.pinned = pinned             # Kiln: uncommitted, not evictable
+        self.tx_id = tx_id
+        self.version = version
+        self.last_use = last_use
+
+    def __repr__(self) -> str:
+        return (f"CacheLine(tag={self.tag:#x}, dirty={self.dirty}, "
+                f"persistent={self.persistent}, pinned={self.pinned}, "
+                f"tx_id={self.tx_id}, version={self.version})")
 
 
 class EvictionImpossible(Exception):
@@ -41,6 +56,8 @@ class CacheArray:
     insert raises :class:`EvictionImpossible` and the caller decides on
     a bypass policy.
     """
+
+    __slots__ = ("num_sets", "assoc", "line_size", "_sets", "_use_clock")
 
     def __init__(self, num_sets: int, assoc: int, line_size: int) -> None:
         self.num_sets = num_sets
@@ -58,9 +75,10 @@ class CacheArray:
 
     def lookup(self, line: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the resident line or None; updates LRU on a hit."""
-        entry = self._sets[self._set_index(line)].get(line)
+        entry = self._sets[(line // self.line_size) % self.num_sets].get(line)
         if entry is not None and touch:
-            entry.last_use = self._tick()
+            self._use_clock += 1
+            entry.last_use = self._use_clock
         return entry
 
     def contains(self, line: int) -> bool:

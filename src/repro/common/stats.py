@@ -239,11 +239,32 @@ class Stats:
 
 
 class ScopedStats:
-    """Prefixing facade over a :class:`Stats` registry."""
+    """Prefixing facade over a :class:`Stats` registry.
+
+    Hot components should not pay an f-string per increment: they call
+    :meth:`resolve` once at construction to get the fully-qualified
+    name and then hit :attr:`base` (the underlying :class:`Stats`)
+    directly — same registry keys, no per-event formatting.
+    """
+
+    __slots__ = ("_parent", "_prefix")
 
     def __init__(self, parent: Stats, prefix: str) -> None:
         self._parent = parent
         self._prefix = prefix.rstrip(".")
+
+    @property
+    def base(self) -> Stats:
+        """The unprefixed registry this view writes into."""
+        return self._parent
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def resolve(self, name: str) -> str:
+        """Fully-qualified registry key for ``name`` under this scope."""
+        return f"{self._prefix}.{name}"
 
     def _name(self, name: str) -> str:
         return f"{self._prefix}.{name}"

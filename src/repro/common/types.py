@@ -10,7 +10,7 @@ paper's hybrid memory bus with one controller per space.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 #: Cache line size in bytes (paper: 64 B lines).
@@ -79,9 +79,17 @@ class MemReqType(enum.Enum):
     WRITE = "write"
 
 
-@dataclass
 class MemRequest:
     """A single line-granular request to a memory controller.
+
+    A hand-rolled ``__slots__`` class rather than a dataclass: requests
+    are the hottest allocation in the simulator and sit on the memory
+    controller's scan path, so ``line`` and ``is_write`` are computed
+    once at construction (the address never changes after that) and
+    ``bank``/``row`` are filled in by the owning controller at enqueue
+    so queue scans never re-run the address map.  Identity equality is
+    deliberate — queue membership means *this* request, not any
+    equal-valued one.
 
     Attributes:
         addr: byte address (any address within the line is accepted;
@@ -95,29 +103,47 @@ class MemRequest:
             when the controller finishes servicing the request.
         issue_cycle: stamped by the controller at enqueue time.
         source: free-form tag identifying the requester (stats/debug).
+        line: cache-line address of ``addr`` (precomputed).
+        is_write: True for WRITE requests (precomputed).
+        bank: owning controller's :class:`~repro.memory.bank.Bank`
+            for this line (set at enqueue; None before that).
+        row: row index within ``bank`` (set at enqueue).
     """
 
-    addr: int
-    req_type: MemReqType
-    persistent: bool = False
-    tx_id: Optional[int] = None
-    version: Optional[Version] = None
-    callback: Optional[Callable[["MemRequest", int], None]] = None
-    issue_cycle: int = 0
-    source: str = ""
-    meta: dict = field(default_factory=dict)
+    __slots__ = ("addr", "req_type", "persistent", "tx_id", "version",
+                 "callback", "issue_cycle", "source", "meta",
+                 "line", "is_write", "bank", "row")
 
-    @property
-    def line(self) -> int:
-        return line_addr(self.addr)
-
-    @property
-    def is_write(self) -> bool:
-        return self.req_type is MemReqType.WRITE
+    def __init__(self, addr: int, req_type: MemReqType,
+                 persistent: bool = False,
+                 tx_id: Optional[int] = None,
+                 version: Optional[Version] = None,
+                 callback: Optional[Callable[["MemRequest", int], None]] = None,
+                 issue_cycle: int = 0, source: str = "",
+                 meta: Optional[dict] = None) -> None:
+        self.addr = addr
+        self.req_type = req_type
+        self.persistent = persistent
+        self.tx_id = tx_id
+        self.version = version
+        self.callback = callback
+        self.issue_cycle = issue_cycle
+        self.source = source
+        self.meta = {} if meta is None else meta
+        self.line = addr & ~(CACHE_LINE_SIZE - 1)
+        self.is_write = req_type is MemReqType.WRITE
+        self.bank = None
+        self.row = 0
 
     @property
     def space(self) -> MemSpace:
         return MemSpace.of(self.addr)
+
+    def __repr__(self) -> str:
+        return (f"MemRequest(addr={self.addr:#x}, "
+                f"req_type={self.req_type.value}, "
+                f"persistent={self.persistent}, tx_id={self.tx_id}, "
+                f"source={self.source!r})")
 
 
 class SchemeName(enum.Enum):

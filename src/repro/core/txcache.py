@@ -49,18 +49,34 @@ class TxState(enum.Enum):
     COMMITTED = "committed"
 
 
-@dataclass
 class TxEntry:
-    """One TC line: tag + data (version) + transaction bookkeeping."""
+    """One TC line: tag + data (version) + transaction bookkeeping.
 
-    seq: int                      # global insertion order (head counter)
-    tx_id: int
-    tag: int                      # cache-line address
-    version: Optional[Version]
-    state: TxState = TxState.ACTIVE
-    issued: bool = False          # write sent toward the NVM
-    issue_cycle: int = -1         # cycle of the newest issue/reissue
-    reissues: int = 0             # ack-timeout reissues of this entry
+    ``__slots__`` rather than a dataclass: the CAM scans (coalesce,
+    commit, issue, ack, probe) walk every ring entry, so field reads
+    dominate the accelerator's cost."""
+
+    __slots__ = ("seq", "tx_id", "tag", "version", "state", "issued",
+                 "issue_cycle", "reissues")
+
+    def __init__(self, seq: int, tx_id: int, tag: int,
+                 version: Optional[Version],
+                 state: TxState = TxState.ACTIVE,
+                 issued: bool = False, issue_cycle: int = -1,
+                 reissues: int = 0) -> None:
+        self.seq = seq                # global insertion order (head counter)
+        self.tx_id = tx_id
+        self.tag = tag                # cache-line address
+        self.version = version
+        self.state = state
+        self.issued = issued          # write sent toward the NVM
+        self.issue_cycle = issue_cycle  # cycle of the newest issue/reissue
+        self.reissues = reissues      # ack-timeout reissues of this entry
+
+    def __repr__(self) -> str:
+        return (f"TxEntry(seq={self.seq}, tx_id={self.tx_id}, "
+                f"tag={self.tag:#x}, state={self.state.name}, "
+                f"issued={self.issued})")
 
 
 class TransactionCache:

@@ -28,13 +28,40 @@ from typing import Callable, List, Optional
 from ..common.config import CoreConfig
 from ..common.event import Simulator
 from ..common.stats import ScopedStats
-from ..cpu.trace import OpType, Trace, TraceOp
+from ..cpu.trace import (
+    KIND_CLWB,
+    KIND_COMPUTE,
+    KIND_LOAD,
+    KIND_SFENCE,
+    KIND_STORE,
+    KIND_TX_BEGIN,
+    KIND_TX_END,
+    OpType,
+    Trace,
+    TraceOp,
+)
 from ..obs.tracer import NULL_TRACER, NullTracer
 from ..persistence.base import PersistenceScheme
 
 
 class Core:
-    """One CPU core executing a prepared trace under a scheme."""
+    """One CPU core executing a prepared trace under a scheme.
+
+    ``__slots__`` plus a per-instance dispatch table: the retire loop
+    runs once per trace op, so attribute reads stay off the instance
+    dict and op dispatch is a list index on the op's dense kind code
+    instead of a dict built per call.
+    """
+
+    __slots__ = (
+        "sim", "core_id", "config", "stats", "scheme", "tracer", "_track",
+        "mode_tx", "next_tx_id", "cycle", "_ops", "_kinds", "_counts",
+        "_ip", "_on_done", "_sb_tokens", "_sb_waiting", "done",
+        "_stall_reason", "_tx_begin_cycle", "instructions_retired",
+        "committed_transactions", "_handlers", "_issue_width",
+        "_inc", "_sample", "_k_stall_prefix", "_k_stall_total",
+        "_k_load_latency", "_k_persist_load_latency",
+    )
 
     def __init__(
         self,
@@ -58,6 +85,8 @@ class Core:
         # execution state
         self.cycle = 0
         self._ops: List[TraceOp] = []
+        self._kinds: List[int] = []
+        self._counts: List[int] = []
         self._ip = 0
         self._on_done: Optional[Callable[[], None]] = None
         self._sb_tokens = config.store_buffer_entries
@@ -70,11 +99,32 @@ class Core:
         # headline metrics
         self.instructions_retired = 0
         self.committed_transactions = 0
+        # hot-path precomputation: dispatch table indexed by op kind
+        # code, issue width, and resolved stat keys
+        handlers = [None] * 7
+        handlers[KIND_LOAD] = self._do_load
+        handlers[KIND_STORE] = self._do_store
+        handlers[KIND_TX_BEGIN] = self._do_tx_begin
+        handlers[KIND_TX_END] = self._do_tx_end
+        handlers[KIND_CLWB] = self._do_clwb
+        handlers[KIND_SFENCE] = self._do_sfence
+        self._handlers = handlers
+        self._issue_width = config.issue_width
+        base = stats.base
+        self._inc = base.inc
+        self._sample = base.sample
+        self._k_stall_prefix = stats.resolve("stall.")
+        self._k_stall_total = stats.resolve("stall.total")
+        self._k_load_latency = stats.resolve("load.latency")
+        self._k_persist_load_latency = stats.resolve("persist_load.latency")
 
     # ------------------------------------------------------------------
     def run_trace(self, trace: Trace, on_done: Optional[Callable[[], None]] = None) -> None:
         """Begin executing ``trace`` (already scheme-prepared)."""
+        compiled = trace.compiled()
         self._ops = trace.ops
+        self._kinds = compiled.kinds
+        self._counts = compiled.counts
         self._ip = 0
         self._on_done = on_done
         self.done = False
@@ -86,24 +136,42 @@ class Core:
 
     # ------------------------------------------------------------------
     def _step(self) -> None:
-        """Retire ops until one needs the event system, then yield."""
+        """Retire ops until one needs the event system, then yield.
+
+        COMPUTE runs retire from the compiled flat arrays — two int
+        list reads per op, with cycle/retired-instruction totals folded
+        back into the instance only when the loop yields."""
         ops = self._ops
-        while self._ip < len(ops):
-            op = ops[self._ip]
-            if op.op is OpType.COMPUTE:
-                issue = self.config.issue_width
-                self.cycle += (op.count + issue - 1) // issue
-                self.instructions_retired += op.count
-                self._ip += 1
+        kinds = self._kinds
+        counts = self._counts
+        n = len(ops)
+        ip = self._ip
+        cycle = self.cycle
+        issue = self._issue_width
+        retired = 0
+        while ip < n:
+            if kinds[ip] == KIND_COMPUTE:
+                count = counts[ip]
+                cycle += (count + issue - 1) // issue
+                retired += count
+                ip += 1
                 continue
             # every other op interacts with timing components: align the
             # kernel clock with the core clock first.
-            if self.cycle > self.sim.now:
-                self.sim.schedule_at(self.cycle, self._step)
+            self._ip = ip
+            self.cycle = cycle
+            if retired:
+                self.instructions_retired += retired
+            if cycle > self.sim.now:
+                self.sim.schedule_at(cycle, self._step)
                 return
             self.cycle = self.sim.now
-            self._dispatch(op)
+            self._handlers[kinds[ip]](ops[ip])
             return
+        self._ip = ip
+        self.cycle = cycle
+        if retired:
+            self.instructions_retired += retired
         self.done = True
         self.stats.inc("finished", 1)
         if self.tracer.enabled:
@@ -135,23 +203,16 @@ class Core:
         self._stall_reason = None
         stall = self.cycle - issued - 1
         if stall > 0:
-            self.stats.inc(f"stall.{reason}", stall)
-            self.stats.inc("stall.total", stall)
+            inc = self._inc
+            inc(self._k_stall_prefix + reason, stall)
+            inc(self._k_stall_total, stall)
             if self.tracer.enabled:
                 self.tracer.complete("core", self._track,
                                      f"stall.{reason}", issued + 1, stall)
 
     # ------------------------------------------------------------------
     def _dispatch(self, op: TraceOp) -> None:
-        handler = {
-            OpType.LOAD: self._do_load,
-            OpType.STORE: self._do_store,
-            OpType.TX_BEGIN: self._do_tx_begin,
-            OpType.TX_END: self._do_tx_end,
-            OpType.CLWB: self._do_clwb,
-            OpType.SFENCE: self._do_sfence,
-        }[op.op]
-        handler(op)
+        self._handlers[op.kind](op)
 
     # -- loads ---------------------------------------------------------
     def _do_load(self, op: TraceOp) -> None:
@@ -166,9 +227,9 @@ class Core:
                 # Memory miss: resumed by the fill event.
                 self.cycle = max(self.sim.now, issued + 1)
             self._account_stall(issued, "load")
-            self.stats.sample("load.latency", latency)
+            self._sample(self._k_load_latency, latency)
             if op.persistent:
-                self.stats.sample("persist_load.latency", latency)
+                self._sample(self._k_persist_load_latency, latency)
             self.instructions_retired += 1
             self._advance()
 

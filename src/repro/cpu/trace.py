@@ -34,28 +34,71 @@ class OpType(enum.Enum):
     SFENCE = "sfence"  # SP instrumentation only
 
 
-@dataclass
+#: dense integer codes for each op type; the core's dispatch table and
+#: :class:`CompiledTrace`'s flat arrays index on these instead of
+#: hashing enum members in the retire loop
+(KIND_LOAD, KIND_STORE, KIND_COMPUTE, KIND_TX_BEGIN,
+ KIND_TX_END, KIND_CLWB, KIND_SFENCE) = range(7)
+
+_KIND_OF = {
+    OpType.LOAD: KIND_LOAD,
+    OpType.STORE: KIND_STORE,
+    OpType.COMPUTE: KIND_COMPUTE,
+    OpType.TX_BEGIN: KIND_TX_BEGIN,
+    OpType.TX_END: KIND_TX_END,
+    OpType.CLWB: KIND_CLWB,
+    OpType.SFENCE: KIND_SFENCE,
+}
+
+_ADDRESSED_KINDS = frozenset((KIND_LOAD, KIND_STORE, KIND_CLWB))
+
+
 class TraceOp:
     """One dynamic operation.
 
     ``count`` is the number of ALU instructions for COMPUTE (1 for all
-    other ops).  ``version`` is set on persistent stores."""
+    other ops).  ``version`` is set on persistent stores.
 
-    op: OpType
-    addr: int = 0
-    count: int = 1
-    tx_id: Optional[int] = None
-    version: Optional[Version] = None
+    A ``__slots__`` class: traces hold 10⁴–10⁶ of these and the core
+    touches them every retire, so ``kind`` (dense int code) and
+    ``persistent`` are derived once at construction.  ``op`` and
+    ``addr`` must not be mutated afterwards (``count`` may grow while
+    a builder coalesces COMPUTE runs — that derives nothing).
+    """
 
-    @property
-    def persistent(self) -> bool:
-        return self.op in (OpType.LOAD, OpType.STORE, OpType.CLWB) and \
-            is_persistent_addr(self.addr)
+    __slots__ = ("op", "addr", "count", "tx_id", "version",
+                 "kind", "persistent")
+
+    def __init__(self, op: OpType, addr: int = 0, count: int = 1,
+                 tx_id: Optional[int] = None,
+                 version: Optional[Version] = None) -> None:
+        self.op = op
+        self.addr = addr
+        self.count = count
+        self.tx_id = tx_id
+        self.version = version
+        kind = _KIND_OF[op]
+        self.kind = kind
+        self.persistent = (kind in _ADDRESSED_KINDS
+                           and is_persistent_addr(addr))
 
     @property
     def instructions(self) -> int:
         """Dynamic instruction count this op represents."""
         return self.count if self.op is OpType.COMPUTE else 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceOp):
+            return NotImplemented
+        return (self.op is other.op and self.addr == other.addr
+                and self.count == other.count
+                and self.tx_id == other.tx_id
+                and self.version == other.version)
+
+    def __repr__(self) -> str:
+        return (f"TraceOp(op={self.op.name}, addr={self.addr:#x}, "
+                f"count={self.count}, tx_id={self.tx_id}, "
+                f"version={self.version})")
 
     def to_json(self) -> dict:
         data = {"op": self.op.value}
@@ -81,18 +124,45 @@ class TraceOp:
         )
 
 
+class CompiledTrace:
+    """Flat parallel arrays over a trace's ops, for the core's retire
+    loop: ``kinds[i]`` is the dense op-type code of ``ops[i]`` and
+    ``counts[i]`` its instruction count.  Scanning two plain int lists
+    is markedly cheaper than touching a Python object per retired op."""
+
+    __slots__ = ("kinds", "counts")
+
+    def __init__(self, ops: List[TraceOp]) -> None:
+        self.kinds: List[int] = [op.kind for op in ops]
+        self.counts: List[int] = [op.count for op in ops]
+
+
 @dataclass
 class Trace:
     """A per-core operation stream plus summary metadata."""
 
     name: str
     ops: List[TraceOp] = field(default_factory=list)
+    _compiled: Optional[CompiledTrace] = field(
+        default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.ops)
 
     def __iter__(self) -> Iterator[TraceOp]:
         return iter(self.ops)
+
+    def compiled(self) -> CompiledTrace:
+        """Flat-array view of the ops, computed once and cached.
+
+        Called by the core when execution starts, i.e. after workload
+        generation and scheme instrumentation are done.  Appending ops
+        after this invalidates the cache (length check); in-place
+        mutation of existing ops does not and is unsupported."""
+        cached = self._compiled
+        if cached is None or len(cached.kinds) != len(self.ops):
+            cached = self._compiled = CompiledTrace(self.ops)
+        return cached
 
     @property
     def instructions(self) -> int:

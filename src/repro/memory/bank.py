@@ -10,14 +10,12 @@ exploit full bank-level parallelism, while a bank's lines (one per
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..common.config import MemCtrlConfig
 from ..common.types import NVM_BASE
 
 
-@dataclass
 class Bank:
     """One bank: open-row register plus a busy-until horizon.
 
@@ -25,17 +23,34 @@ class Bank:
     each availability check / access they catch up with any refresh
     window that has elapsed since their last activity — no periodic
     events, so an idle memory system still drains its event queue.
+
+    ``__slots__`` rather than a dataclass: bank state is read on every
+    scheduler scan iteration, and slot access keeps those reads off the
+    instance-dict path.
     """
 
-    index: int
-    open_row: Optional[int] = None
-    busy_until: int = 0
-    row_hits: int = 0
-    row_misses: int = 0
-    refresh_interval: int = 0   # cycles; 0 = no refresh (NVM)
-    refresh_cycles: int = 0
-    refreshes: int = 0
-    _refresh_epoch: int = 0
+    __slots__ = ("index", "open_row", "busy_until", "row_hits",
+                 "row_misses", "refresh_interval", "refresh_cycles",
+                 "refreshes", "_refresh_epoch")
+
+    def __init__(self, index: int, open_row: Optional[int] = None,
+                 busy_until: int = 0, row_hits: int = 0,
+                 row_misses: int = 0,
+                 refresh_interval: int = 0,   # cycles; 0 = no refresh (NVM)
+                 refresh_cycles: int = 0, refreshes: int = 0) -> None:
+        self.index = index
+        self.open_row = open_row
+        self.busy_until = busy_until
+        self.row_hits = row_hits
+        self.row_misses = row_misses
+        self.refresh_interval = refresh_interval
+        self.refresh_cycles = refresh_cycles
+        self.refreshes = refreshes
+        self._refresh_epoch = 0
+
+    def __repr__(self) -> str:
+        return (f"Bank(index={self.index}, open_row={self.open_row}, "
+                f"busy_until={self.busy_until})")
 
     def _catch_up_refresh(self, now: int) -> None:
         if self.refresh_interval <= 0:
@@ -115,6 +130,15 @@ class BankArray:
             row = row_global // self._num_banks
         return bank, row
 
+    def locate(self, addr: int) -> "Tuple[Bank, int]":
+        """Map a byte address to its (Bank object, row index).
+
+        Controllers call this once per request at enqueue and cache
+        the result on the request, so queue scans touch precomputed
+        state instead of redoing the address arithmetic."""
+        bank, row = self.map_address(addr)
+        return self.banks[bank], row
+
     def bank_for(self, addr: int) -> Bank:
         bank, _row = self.map_address(addr)
         return self.banks[bank]
@@ -137,4 +161,4 @@ class BankArray:
 
     def earliest_available(self) -> int:
         """Cycle at which the soonest-free bank becomes available."""
-        return min(b.busy_until for b in self.banks)
+        return min([b.busy_until for b in self.banks])

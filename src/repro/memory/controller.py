@@ -137,6 +137,41 @@ class MemoryController:
         self._inflight = 0
         self._retries_pending = 0
         self._last_write_service = 0
+        # Hot-path precomputation: the scheduler runs every few cycles,
+        # so bank timings (pure functions of the frozen config) and
+        # fully-qualified stat keys are resolved once here instead of
+        # per event.
+        timing = config.timing
+        self._write_hit_cycles = timing.write_cycles(freq_ghz, row_hit=True)
+        self._write_miss_cycles = timing.write_cycles(freq_ghz, row_hit=False)
+        self._read_hit_cycles = timing.read_cycles(freq_ghz, row_hit=True)
+        self._read_miss_cycles = timing.read_cycles(freq_ghz, row_hit=False)
+        self._period = config.scheduler_period_cycles
+        self._drain_high = config.write_drain_threshold
+        self._drain_low = self._drain_high / 2
+        # Refresh-free (NVM) banks have *pure* scans: a scan's only side
+        # effect is DRAM refresh catch-up, so for NVM a failed scan can
+        # be memoized and the bank-availability horizon cached without
+        # perturbing any timing.  DRAM keeps the exact per-tick path
+        # (its per-tick catch-ups move busy_until, which feeds the
+        # re-kick target).
+        self._no_refresh = config.timing.refresh_interval_ns <= 0
+        # cached banks.earliest_available(); invalidated on every access
+        self._earliest: Optional[int] = None
+        # queue.name -> (queue.version, none_until): a failed scan of
+        # that queue version provably stays None while now < none_until
+        # (busy_until never decreases between bank accesses)
+        self._scan_memo: Dict[str, Tuple[int, int]] = {}
+        base = stats.base
+        self._inc = base.inc
+        self._hist = base.hist
+        self._k_write_requests = stats.resolve("write.requests")
+        self._k_write_lines = stats.resolve("write.lines")
+        self._k_read_requests = stats.resolve("read.requests")
+        self._k_read_forwarded = stats.resolve("read.forwarded")
+        self._k_read_latency = stats.resolve("read.latency")
+        self._k_write_latency = stats.resolve("write.latency")
+        self._k_write_acks = stats.resolve("write.acks")
 
     # ------------------------------------------------------------------
     # external interface
@@ -144,24 +179,29 @@ class MemoryController:
     def enqueue(self, request: MemRequest) -> None:
         """Accept a line-granular request; completion is signalled via
         ``request.callback(request, cycle)``."""
-        request.issue_cycle = self.sim.now
+        now = self.sim.now
+        request.issue_cycle = now
+        # Resolve the address map once; every scheduler scan after this
+        # reads the cached (bank, row) instead of redoing the division.
+        request.bank, request.row = self.banks.locate(request.line)
+        inc = self._inc
         if request.is_write:
-            self.stats.inc("write.requests")
-            self.stats.inc("write.lines")
+            inc(self._k_write_requests)
+            inc(self._k_write_lines)
             self.write_queue.push(request)
         else:
-            self.stats.inc("read.requests")
+            inc(self._k_read_requests)
             pending_write = self.write_queue.find_line(request.line)
             if pending_write is not None:
                 # Serve the read from the queued write (newest data).
-                self.stats.inc("read.forwarded")
+                inc(self._k_read_forwarded)
                 request.meta["forwarded"] = True
                 self.sim.schedule(self.FORWARD_LATENCY, self._finish_read, request)
                 return
             self.read_queue.push(request)
         if self.tracer.enabled:
             self._trace_queues()
-        self._kick(self.sim.now + 1)
+        self._kick(now + 1)
 
     def _trace_queues(self) -> None:
         self.tracer.counter("mem", self._track, "queues", self.sim.now,
@@ -189,49 +229,46 @@ class MemoryController:
         self.sim.schedule_at(at_time, self._tick, at_time)
 
     def _tick(self, scheduled_for: int) -> None:
+        """One scheduler decision: drain-mode hysteresis, FR-FCFS pick
+        over the priority-ordered queues, service or re-arm.
+
+        The whole decision is fused into one function on purpose: on a
+        bank-busy poll (by far the common tick outcome) the cost is a
+        few attribute reads and the re-arm ``schedule_at`` — profiling
+        showed the previous helper-per-step layout spending more time
+        on call frames than on the decision itself.
+
+        ``entries`` alone decides queue emptiness throughout: the
+        backlog admits into ``entries`` whenever there is room, so a
+        non-empty backlog implies non-empty entries."""
         if self._tick_at != scheduled_for:
             return  # superseded by an earlier kick
         self._tick_at = None
-        self._update_drain_mode()
-        request = self._pick_request()
-        if request is None:
-            if not self.read_queue.is_empty() or not self.write_queue.is_empty():
-                # All candidate banks are busy; retry when one frees up.
-                self._kick(max(self.banks.earliest_available(), self.sim.now + 1))
-            return
-        self._service(request)
-        if not self.read_queue.is_empty() or not self.write_queue.is_empty():
-            self._kick(self.sim.now + self.config.scheduler_period_cycles)
-
-    def _update_drain_mode(self) -> None:
-        high = self.config.write_drain_threshold
-        low = high / 2
-        if not self._drain_mode and self.write_queue.occupancy >= high:
-            self._drain_mode = True
-            self.stats.inc("write.drain_entries")
-            if self.tracer.enabled:
-                self.tracer.instant("mem", self._track, "drain.enter",
-                                    self.sim.now,
-                                    write_queue=len(self.write_queue))
-        elif self._drain_mode and self.write_queue.occupancy <= low:
-            self._drain_mode = False
-            if self.tracer.enabled:
-                self.tracer.instant("mem", self._track, "drain.exit",
-                                    self.sim.now,
-                                    write_queue=len(self.write_queue))
-
-    def _pick_request(self) -> Optional[MemRequest]:
-        """FR-FCFS over the priority-ordered queues."""
         now = self.sim.now
-        starved = (not self.write_queue.is_empty()
-                   and now - self._last_write_service
-                   > self.WRITE_STARVATION_LIMIT)
-        if self._drain_mode or starved:
-            if starved and not self._drain_mode:
+        read_queue = self.read_queue
+        write_queue = self.write_queue
+        w_entries = write_queue.entries
+        # drain-mode hysteresis (flips are rare; the helper keeps the
+        # stats/tracer bookkeeping out of the per-tick path)
+        occupancy = len(w_entries) / write_queue.capacity
+        drain = self._drain_mode
+        if not drain:
+            if occupancy >= self._drain_high:
+                drain = True
+                self._flip_drain_mode(True, len(w_entries))
+        elif occupancy <= self._drain_low:
+            drain = False
+            self._flip_drain_mode(False, len(w_entries))
+        # FR-FCFS pick, writes first under drain or anti-starvation
+        starved = bool(w_entries) and (now - self._last_write_service
+                                       > self.WRITE_STARVATION_LIMIT)
+        if drain or starved:
+            if starved and not drain:
                 self.stats.inc("write.starvation_grants")
-            queues = (self.write_queue, self.read_queue)
+            queues = (write_queue, read_queue)
         else:
-            queues = (self.read_queue, self.write_queue)
+            queues = (read_queue, write_queue)
+        request: Optional[MemRequest] = None
         for queue in queues:
             chosen = self._scan(queue, now)
             if chosen is not None:
@@ -240,48 +277,112 @@ class MemoryController:
                     self._trace_queues()
                 if chosen.is_write:
                     self._last_write_service = now
-                return chosen
-        return None
+                request = chosen
+                break
+        if request is None:
+            if read_queue.entries or w_entries:
+                # All candidate banks are busy; retry when one frees
+                # up.  No tick is pending here (this one was just
+                # consumed and nothing above kicks), so arm directly
+                # instead of going through _kick.
+                if self._no_refresh:
+                    earliest = self._earliest
+                    if earliest is None:
+                        earliest = self._earliest = \
+                            self.banks.earliest_available()
+                else:
+                    earliest = self.banks.earliest_available()
+                if earliest <= now:
+                    earliest = now + 1
+                self._tick_at = earliest
+                self.sim.schedule_at(earliest, self._tick, earliest)
+            return
+        self._service(request)
+        if read_queue.entries or write_queue.entries:
+            at_time = now + self._period
+            self._tick_at = at_time
+            self.sim.schedule_at(at_time, self._tick, at_time)
+
+    def _flip_drain_mode(self, drain: bool, write_depth: int) -> None:
+        self._drain_mode = drain
+        if drain:
+            self.stats.inc("write.drain_entries")
+        if self.tracer.enabled:
+            self.tracer.instant("mem", self._track,
+                                "drain.enter" if drain else "drain.exit",
+                                self.sim.now, write_queue=write_depth)
 
     def _scan(self, queue, now: int) -> Optional[MemRequest]:
         """First row-hit whose bank is free; else first bank-free entry.
 
         A row-hit entry is skipped if an *older* request to the same
         line exists earlier in the queue — same-line order is preserved
-        unconditionally."""
+        unconditionally.
+
+        This is the hottest loop in the simulator: it runs over the
+        admitted queue every scheduler tick, so it reads the (bank,
+        row) pair precomputed at enqueue and inlines
+        ``Bank.available`` / row-hit checks (``_catch_up_refresh`` is a
+        no-op for refresh-free NVM banks and is skipped outright)."""
+        entries = queue.entries
+        if not entries:
+            return None
+        memo = self._scan_memo.get(queue.name)
+        if memo is not None and memo[0] == queue.version and now < memo[1]:
+            # A scan of this exact queue content already failed, and no
+            # candidate bank frees up before memo[1]: busy_until only
+            # moves through _service (which clears the memo), so the
+            # scan outcome cannot have changed.  Skipping it is safe
+            # because refresh-free scans have no side effects.
+            return None
         fallback: Optional[MemRequest] = None
         seen_lines = set()
-        for request in queue:
-            if request.line in seen_lines:
+        seen_add = seen_lines.add
+        min_busy: Optional[int] = None
+        for request in entries:
+            line = request.line
+            if line in seen_lines:
                 continue
-            seen_lines.add(request.line)
-            bank = self.banks.bank_for(request.line)
-            if not bank.available(now):
+            seen_add(line)
+            bank = request.bank
+            if bank.refresh_interval > 0:
+                bank._catch_up_refresh(now)
+            busy_until = bank.busy_until
+            if now < busy_until:
+                if min_busy is None or busy_until < min_busy:
+                    min_busy = busy_until
                 continue
-            if self.banks.is_row_hit(request.line):
+            if bank.open_row == request.row:
                 return request
             if fallback is None:
                 fallback = request
+        if fallback is None and min_busy is not None and self._no_refresh:
+            self._scan_memo[queue.name] = (queue.version, min_busy)
         return fallback
 
     def _service(self, request: MemRequest) -> None:
         now = self.sim.now
-        bank, row = self.banks.map_address(request.line)
-        timing = self.config.timing
+        # The bank access below moves busy_until (fault-injected write
+        # retries may even *lower* it, servicing a busy bank), so every
+        # cached availability fact is stale after this point.
+        self._earliest = None
+        if self._scan_memo:
+            self._scan_memo.clear()
+        bank_state = request.bank
+        row = request.row
         if request.is_write:
-            hit_cycles = timing.write_cycles(self.freq_ghz, row_hit=True)
-            miss_cycles = timing.write_cycles(self.freq_ghz, row_hit=False)
+            hit_cycles = self._write_hit_cycles
+            miss_cycles = self._write_miss_cycles
         else:
-            hit_cycles = timing.read_cycles(self.freq_ghz, row_hit=True)
-            miss_cycles = timing.read_cycles(self.freq_ghz, row_hit=False)
-        bank_state = self.banks.banks[bank]
+            hit_cycles = self._read_hit_cycles
+            miss_cycles = self._read_miss_cycles
         hits_before = bank_state.row_hits
         done = bank_state.access(row, now, hit_cycles, miss_cycles)
         self._inflight += 1
         if self.tracer.enabled:
             # one track per bank: service window + actual row-hit outcome
             self.tracer.complete(
-                "mem", f"{self._track}.bank{bank}",
+                "mem", f"{self._track}.bank{bank_state.index}",
                 "write" if request.is_write else "read",
                 now, done - now, line=request.line,
                 row_hit=int(bank_state.row_hits > hits_before))
@@ -295,7 +396,7 @@ class MemoryController:
     # ------------------------------------------------------------------
     def _finish_read(self, request: MemRequest) -> None:
         now = self.sim.now
-        self.stats.hist("read.latency", now - request.issue_cycle)
+        self._hist(self._k_read_latency, now - request.issue_cycle)
         if not request.meta.get("forwarded"):
             self._inflight -= 1
         if request.callback is not None:
@@ -324,14 +425,14 @@ class MemoryController:
             # the line to a spare row — the write then completes, so
             # durability is degraded (extra latency), never lost.
             self.stats.inc("write.remaps")
-        self.stats.hist("write.latency", now - request.issue_cycle)
+        self._hist(self._k_write_latency, now - request.issue_cycle)
         self._inflight -= 1
         if self.durable_image is not None:
             self.durable_image.record(now, request.line, request.version)
         if request.callback is not None:
             request.callback(request, now)
         if request.persistent and self.ack_handler is not None:
-            self.stats.inc("write.acks")
+            self._inc(self._k_write_acks)
             self._send_ack(request, now)
         self._kick(now + 1)
 

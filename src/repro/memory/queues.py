@@ -18,24 +18,36 @@ from ..common.types import MemRequest
 
 
 class RequestQueue:
-    """FIFO with a hard capacity and an overflow backlog."""
+    """FIFO with a hard capacity and an overflow backlog.
+
+    ``entries`` (the admitted deque) is public on purpose: the memory
+    controller's scheduler scans it every tick, and going through an
+    iterator wrapper or accessor shows up in profiles.  Treat it as
+    read-only outside this class.
+    """
+
+    __slots__ = ("name", "capacity", "entries", "version", "_backlog",
+                 "peak_occupancy", "total_admitted", "total_backlogged")
 
     def __init__(self, name: str, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"{name}: capacity must be >= 1")
         self.name = name
         self.capacity = capacity
-        self._entries: Deque[MemRequest] = deque()
+        self.entries: Deque[MemRequest] = deque()
+        #: bumped on every change to ``entries`` — lets the scheduler
+        #: memoize a failed scan until the queue contents change
+        self.version = 0
         self._backlog: Deque[MemRequest] = deque()
         self.peak_occupancy = 0
         self.total_admitted = 0
         self.total_backlogged = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.entries)
 
     def __iter__(self) -> Iterator[MemRequest]:
-        return iter(self._entries)
+        return iter(self.entries)
 
     @property
     def backlog_depth(self) -> int:
@@ -44,18 +56,18 @@ class RequestQueue:
     @property
     def occupancy(self) -> float:
         """Fraction of the hard capacity in use."""
-        return len(self._entries) / self.capacity
+        return len(self.entries) / self.capacity
 
     def is_full(self) -> bool:
-        return len(self._entries) >= self.capacity
+        return len(self.entries) >= self.capacity
 
     def is_empty(self) -> bool:
-        return not self._entries and not self._backlog
+        return not self.entries and not self._backlog
 
     def push(self, request: MemRequest) -> bool:
         """Add a request.  Returns True if admitted directly, False if
         it had to wait in the backlog."""
-        if self.is_full():
+        if len(self.entries) >= self.capacity:
             self._backlog.append(request)
             self.total_backlogged += 1
             return False
@@ -63,20 +75,23 @@ class RequestQueue:
         return True
 
     def _admit(self, request: MemRequest) -> None:
-        self._entries.append(request)
+        self.entries.append(request)
+        self.version += 1
         self.total_admitted += 1
-        if len(self._entries) > self.peak_occupancy:
-            self.peak_occupancy = len(self._entries)
+        if len(self.entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self.entries)
 
     def pop(self, request: MemRequest) -> None:
         """Remove a specific (scheduled) request, then admit backlog."""
-        self._entries.remove(request)
-        while self._backlog and not self.is_full():
-            self._admit(self._backlog.popleft())
+        self.entries.remove(request)
+        self.version += 1
+        backlog = self._backlog
+        while backlog and len(self.entries) < self.capacity:
+            self._admit(backlog.popleft())
 
     def find_line(self, line: int) -> Optional[MemRequest]:
         """Oldest queued request for ``line`` (backlog included)."""
-        for request in self._entries:
+        for request in self.entries:
             if request.line == line:
                 return request
         for request in self._backlog:
@@ -86,6 +101,6 @@ class RequestQueue:
 
     def find_all_line(self, line: int) -> List[MemRequest]:
         """All queued requests for ``line``, oldest first."""
-        hits = [r for r in self._entries if r.line == line]
+        hits = [r for r in self.entries if r.line == line]
         hits.extend(r for r in self._backlog if r.line == line)
         return hits

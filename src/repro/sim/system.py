@@ -6,7 +6,7 @@ from typing import List, Optional, Sequence, Union
 
 from ..cache.hierarchy import CacheHierarchy
 from ..common.config import MachineConfig, small_machine_config
-from ..common.event import Simulator
+from ..common.event import create_simulator
 from ..common.stats import Stats
 from ..common.types import SchemeName
 from ..cpu.core import Core
@@ -29,7 +29,10 @@ class System:
                  scheme_name: Union[str, SchemeName],
                  obs: Optional[Observability] = None) -> None:
         self.config = config
-        self.sim = Simulator()
+        # Kernel choice (timing wheel vs reference heapq) is a pure
+        # performance knob — both kernels are observationally
+        # equivalent, so it is not part of the config fingerprint.
+        self.sim = create_simulator()
         self.stats = Stats()
         # Observability is deliberately *not* part of MachineConfig —
         # enabling a trace must never change config fingerprints or
@@ -62,6 +65,8 @@ class System:
             self._register_probes(obs)
         #: original (pre-instrumentation) traces, for metrics/checking
         self.source_traces: List[Trace] = []
+        #: events executed across all run() calls (benchmark metric)
+        self.events_executed = 0
 
     def _register_probes(self, obs: Observability) -> None:
         """Register epoch-sampler probes over the structures whose
@@ -108,7 +113,8 @@ class System:
     def run(self, until: Optional[int] = None,
             max_events: Optional[int] = None) -> None:
         """Drain the event queue (optionally pausing at ``until``)."""
-        self.sim.run(until=until, max_events=max_events)
+        self.events_executed += self.sim.run(until=until,
+                                             max_events=max_events)
 
     @property
     def done(self) -> bool:

@@ -1,12 +1,30 @@
-"""Unit tests for the discrete-event kernel."""
+"""Unit tests for the discrete-event kernel.
+
+Every behavioural test is parametrized over both kernels — the heapq
+reference :class:`Simulator` and the :class:`TimingWheelSimulator` —
+because the two must be observationally indistinguishable.
+"""
 
 import pytest
 
-from repro.common.event import SimulationError, Simulator
+from repro.common.event import (
+    KERNEL_ENV,
+    SimulationError,
+    Simulator,
+    TimingWheelSimulator,
+    create_simulator,
+    default_kernel,
+)
+
+WHEEL = TimingWheelSimulator.WHEEL_SIZE
 
 
-def test_events_run_in_time_order():
-    sim = Simulator()
+@pytest.fixture(params=["heap", "wheel"])
+def sim(request):
+    return create_simulator(request.param)
+
+
+def test_events_run_in_time_order(sim):
     order = []
     sim.schedule(10, order.append, "late")
     sim.schedule(1, order.append, "early")
@@ -15,8 +33,7 @@ def test_events_run_in_time_order():
     assert order == ["early", "middle", "late"]
 
 
-def test_same_cycle_events_run_in_insertion_order():
-    sim = Simulator()
+def test_same_cycle_events_run_in_insertion_order(sim):
     order = []
     for tag in range(8):
         sim.schedule(3, order.append, tag)
@@ -24,15 +41,13 @@ def test_same_cycle_events_run_in_insertion_order():
     assert order == list(range(8))
 
 
-def test_now_advances_to_last_event():
-    sim = Simulator()
+def test_now_advances_to_last_event(sim):
     sim.schedule(42, lambda: None)
     sim.run()
     assert sim.now == 42
 
 
-def test_schedule_during_run_is_executed():
-    sim = Simulator()
+def test_schedule_during_run_is_executed(sim):
     seen = []
 
     def chain(depth):
@@ -46,8 +61,7 @@ def test_schedule_during_run_is_executed():
     assert sim.now == 6
 
 
-def test_run_until_stops_before_future_events():
-    sim = Simulator()
+def test_run_until_stops_before_future_events(sim):
     fired = []
     sim.schedule(5, fired.append, "a")
     sim.schedule(50, fired.append, "b")
@@ -58,23 +72,19 @@ def test_run_until_stops_before_future_events():
     assert fired == ["a", "b"]
 
 
-def test_negative_delay_rejected():
-    sim = Simulator()
+def test_negative_delay_rejected(sim):
     with pytest.raises(SimulationError):
         sim.schedule(-1, lambda: None)
 
 
-def test_schedule_at_in_past_rejected():
-    sim = Simulator()
+def test_schedule_at_in_past_rejected(sim):
     sim.schedule(10, lambda: None)
     sim.run()
     with pytest.raises(SimulationError):
         sim.schedule_at(5, lambda: None)
 
 
-def test_max_events_guard_raises():
-    sim = Simulator()
-
+def test_max_events_guard_raises(sim):
     def forever():
         sim.schedule(1, forever)
 
@@ -83,17 +93,195 @@ def test_max_events_guard_raises():
         sim.run(max_events=100)
 
 
-def test_step_returns_false_when_empty():
-    sim = Simulator()
+def test_step_returns_false_when_empty(sim):
     assert sim.step() is False
     sim.schedule(1, lambda: None)
     assert sim.step() is True
     assert sim.step() is False
 
 
-def test_pending_counts_queued_events():
-    sim = Simulator()
+def test_pending_counts_queued_events(sim):
     assert sim.pending() == 0
     sim.schedule(1, lambda: None)
     sim.schedule(2, lambda: None)
     assert sim.pending() == 2
+
+
+def test_run_returns_executed_count(sim):
+    for delay in (1, 1, 7):
+        sim.schedule(delay, lambda: None)
+    assert sim.run() == 3
+
+
+def test_advance_hook_fires_between_time_steps(sim):
+    """The hook fires once per distinct timestamp, after the clock
+    moves and before any callback at the new time — even when several
+    events share a cycle."""
+    log = []
+    sim.set_advance_hook(lambda t: log.append(("hook", t)))
+    for tag in ("a", "b"):
+        sim.schedule(3, lambda tag=tag: log.append(("ev3", tag)))
+    sim.schedule(5, lambda: log.append(("ev5", "c")))
+    sim.run()
+    assert log == [("hook", 3), ("ev3", "a"), ("ev3", "b"),
+                   ("hook", 5), ("ev5", "c")]
+
+
+def test_advance_hook_not_fired_on_until_jump(sim):
+    """run(until=...) jumping the clock past the last event is a quiet
+    jump in the reference kernel; the wheel must match."""
+    log = []
+    sim.schedule(2, lambda: None)
+    sim.set_advance_hook(lambda t: log.append(t))
+    sim.run(until=100)
+    assert log == [2]
+    assert sim.now == 100
+
+
+# ---------------------------------------------------------------------------
+# Integral-time validation (regression: `schedule` used to truncate
+# floats via int(), silently firing 1.5-cycle delays one cycle early).
+
+def test_fractional_delay_rejected(sim):
+    with pytest.raises(SimulationError, match="non-integral"):
+        sim.schedule(1.5, lambda: None)
+    assert sim.pending() == 0
+
+
+def test_fractional_absolute_time_rejected(sim):
+    with pytest.raises(SimulationError, match="non-integral"):
+        sim.schedule_at(2.25, lambda: None)
+    assert sim.pending() == 0
+
+
+def test_integral_float_times_accepted(sim):
+    """Whole-number floats (e.g. from ns->cycle arithmetic) are fine
+    and behave exactly like their int counterparts."""
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule_at(1.0, order.append, "a")
+    sim.run()
+    assert order == ["a", "b"]
+    assert sim.now == 2
+    assert isinstance(sim.now, int)
+
+
+def test_non_numeric_time_rejected(sim):
+    with pytest.raises(SimulationError, match="integral number of cycles"):
+        sim.schedule("soon", lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Timing-wheel specifics: far-future overflow and migration ordering.
+
+def test_wheel_far_future_events_fire_in_order():
+    sim = TimingWheelSimulator()
+    order = []
+    sim.schedule(3 * WHEEL + 5, order.append, "far")
+    sim.schedule(2, order.append, "near")
+    assert sim.pending() == 2
+    sim.run()
+    assert order == ["near", "far"]
+    assert sim.now == 3 * WHEEL + 5
+
+
+def test_wheel_migrated_event_precedes_later_same_cycle_schedule():
+    """A far-future event scheduled FIRST must still run before a
+    same-timestamp event scheduled later from within the horizon —
+    migration must beat direct bucket inserts."""
+    sim = TimingWheelSimulator()
+    target = 2 * WHEEL + 10
+    order = []
+    sim.schedule_at(target, order.append, "scheduled-first-from-afar")
+
+    def near_scheduler():
+        sim.schedule_at(target, order.append, "scheduled-second-from-near")
+
+    # runs inside the horizon of `target`, after the far schedule
+    sim.schedule_at(target - 5, near_scheduler)
+    sim.run()
+    assert order == ["scheduled-first-from-afar",
+                     "scheduled-second-from-near"]
+
+
+def test_wheel_until_jump_migrates_far_events():
+    """After run(until=...) jumps the clock, a previously-far event now
+    inside the horizon must still order before later same-cycle
+    schedules."""
+    sim = TimingWheelSimulator()
+    target = WHEEL + 50
+    order = []
+    sim.schedule_at(target, order.append, "old-far")
+    sim.run(until=WHEEL)          # quiet jump; `target` is now near
+    assert sim.now == WHEEL
+    sim.schedule_at(target, order.append, "new-near")
+    sim.run()
+    assert order == ["old-far", "new-near"]
+
+
+def test_wheel_same_cycle_burst_across_horizon_boundary():
+    sim = TimingWheelSimulator()
+    order = []
+    for tag in range(4):
+        sim.schedule_at(WHEEL - 1, order.append, ("edge", tag))
+    for tag in range(4):
+        sim.schedule_at(WHEEL, order.append, ("far", tag))
+    sim.run()
+    assert order == ([("edge", t) for t in range(4)]
+                     + [("far", t) for t in range(4)])
+
+
+def test_wheel_max_events_raise_keeps_state_consistent():
+    """A mid-bucket max_events abort must leave already-run events
+    removed so a resumed run() continues from the right place."""
+    sim = TimingWheelSimulator()
+    order = []
+    for tag in range(6):
+        sim.schedule(1, order.append, tag)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=3)
+    assert order == [0, 1, 2, 3]          # same as the reference kernel
+    assert sim.pending() == 2
+    sim.run()
+    assert order == list(range(6))
+
+
+def test_wheel_matches_heap_on_max_events_abort():
+    def build(kernel):
+        s = create_simulator(kernel)
+        fired = []
+        for tag in range(6):
+            s.schedule(1, fired.append, tag)
+        return s, fired
+
+    heap_sim, heap_fired = build("heap")
+    wheel_sim, wheel_fired = build("wheel")
+    for s in (heap_sim, wheel_sim):
+        with pytest.raises(SimulationError):
+            s.run(max_events=3)
+    assert wheel_fired == heap_fired
+    assert wheel_sim.pending() == heap_sim.pending()
+    assert wheel_sim.now == heap_sim.now
+
+
+# ---------------------------------------------------------------------------
+# Kernel factory.
+
+def test_create_simulator_kernels():
+    assert type(create_simulator("heap")) is Simulator
+    assert type(create_simulator("wheel")) is TimingWheelSimulator
+
+
+def test_create_simulator_reads_environment(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV, "heap")
+    assert default_kernel() == "heap"
+    assert type(create_simulator()) is Simulator
+    monkeypatch.setenv(KERNEL_ENV, "wheel")
+    assert type(create_simulator()) is TimingWheelSimulator
+    monkeypatch.delenv(KERNEL_ENV)
+    assert type(create_simulator()) is TimingWheelSimulator
+
+
+def test_create_simulator_rejects_unknown_kernel():
+    with pytest.raises(SimulationError, match="unknown simulator kernel"):
+        create_simulator("fifo")
