@@ -19,6 +19,11 @@ Commands
              with the cycle-domain tracer on, write a Chrome
              trace-event JSON (open in https://ui.perfetto.dev), and
              print the per-core stall-attribution breakdown.
+``serve``    run the long-lived simulation service: clients POST JSON
+             point specs and get cached-or-computed results back
+             (see docs/service.md).
+``submit``   submit one point spec to a running service and print the
+             JSON response.
 ``workloads``  list registered workloads.
 
 Grid-shaped commands (``sweep``, ``figures``, ``crash``, ``chaos``)
@@ -62,6 +67,21 @@ from .sim.sweep import llc_size_sweep, nvm_write_latency_sweep, tc_size_sweep
 from .workloads import PAPER_WORKLOADS, WORKLOADS, create_workload
 
 SCHEME_CHOICES = [scheme.value for scheme in SchemeName]
+
+
+def package_version() -> str:
+    """The installed distribution version, falling back to the
+    in-tree ``__version__`` when running uninstalled (PYTHONPATH=src)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            pass
+    except ImportError:  # pragma: no cover - stdlib since 3.8
+        pass
+    from . import __version__
+    return __version__
 
 #: name → (ready-made sweep factory, knob value parser) for ``sweep``
 READY_SWEEPS = {
@@ -110,6 +130,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DAC 2017 persistent-memory-accelerator reproduction")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {package_version()}")
     parser.add_argument(
         "--kernel", choices=list(KERNEL_NAMES), default=None,
         help="event kernel for every simulation in this invocation "
@@ -226,6 +248,53 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--out",
                               help="output path: JSON-lines workload trace, "
                                    "or Chrome trace JSON with --scheme")
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the long-lived simulation service")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7341,
+                              help="listen port (0 = ephemeral; "
+                                   "default 7341)")
+    serve_parser.add_argument("--jobs", type=int, default=2,
+                              help="worker processes (default 2)")
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help="shared on-disk result cache; served "
+                                   "points interoperate with the batch "
+                                   "engine's cache entries")
+    serve_parser.add_argument("--max-queue", type=int, default=64,
+                              help="distinct points allowed to wait for "
+                                   "a worker before load-shedding "
+                                   "(default 64)")
+    serve_parser.add_argument("--max-inflight", type=int, default=None,
+                              help="concurrent computations "
+                                   "(default: --jobs)")
+    serve_parser.add_argument("--cache-max-bytes", type=int, default=None,
+                              help="cap the result cache; oldest entries "
+                                   "are evicted past it")
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit one point spec to a running service")
+    submit_parser.add_argument("submit_workload", nargs="?", default=None,
+                               metavar="WORKLOAD",
+                               choices=sorted(WORKLOADS))
+    submit_parser.add_argument("submit_scheme", nargs="?", default=None,
+                               metavar="SCHEME", choices=SCHEME_CHOICES)
+    submit_parser.add_argument("--host", default="127.0.0.1")
+    submit_parser.add_argument("--port", type=int, default=7341)
+    submit_parser.add_argument("--kind", default="experiment",
+                               help="point kind (default experiment)")
+    submit_parser.add_argument("--operations", type=int, default=None)
+    submit_parser.add_argument("--seed", type=int, default=None)
+    submit_parser.add_argument("--cores", type=int, default=None,
+                               help="config num_cores")
+    submit_parser.add_argument("--preset", choices=["small", "paper"],
+                               default=None, help="config preset")
+    submit_parser.add_argument("--deadline-ms", type=int, default=None)
+    submit_parser.add_argument("--file", default=None,
+                               help="read the full request JSON from this "
+                                    "file ('-' = stdin) instead of flags")
+    submit_parser.add_argument("--timeout", type=float, default=300.0,
+                               help="client-side socket timeout seconds")
 
     mix_parser = sub.add_parser(
         "mix", help="heterogeneous mix: one workload per core")
@@ -492,6 +561,75 @@ def _cmd_trace_simulation(args, workload_name: str) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import serve_forever
+
+    def announce(bound_port: int) -> None:
+        print(f"repro serve: listening on {args.host}:{bound_port} "
+              f"(jobs={args.jobs}, max_queue={args.max_queue}, "
+              f"cache={args.cache_dir or 'off'})",
+              file=sys.stderr, flush=True)
+
+    return serve_forever(host=args.host, port=args.port, jobs=args.jobs,
+                         cache_dir=args.cache_dir,
+                         max_queue=args.max_queue,
+                         max_inflight=args.max_inflight,
+                         cache_max_bytes=args.cache_max_bytes,
+                         announce=announce)
+
+
+def _submit_request_from_args(args) -> dict:
+    if args.file is not None:
+        raw = (sys.stdin.read() if args.file == "-"
+               else open(args.file).read())
+        return json.loads(raw)
+    if args.submit_workload is None or args.submit_scheme is None:
+        raise ValueError("submit needs WORKLOAD and SCHEME "
+                         "(or --file REQUEST.json)")
+    request: dict = {"kind": args.kind,
+                     "workload": args.submit_workload,
+                     "scheme": args.submit_scheme}
+    for name, value in (("operations", args.operations),
+                        ("seed", args.seed),
+                        ("deadline_ms", args.deadline_ms)):
+        if value is not None:
+            request[name] = value
+    config = {}
+    if args.cores is not None:
+        config["num_cores"] = args.cores
+    if args.preset is not None:
+        config["preset"] = args.preset
+    if config:
+        request["config"] = config
+    return request
+
+
+def cmd_submit(args) -> int:
+    from .serve.client import ServeClient, ServeError
+
+    try:
+        request = _submit_request_from_args(args)
+    except (ValueError, OSError) as error:
+        print(f"repro submit: error: {error}", file=sys.stderr)
+        return 2
+    client = ServeClient(host=args.host, port=args.port,
+                         timeout=args.timeout)
+    try:
+        response = client.submit(request)
+    except ServeError as error:
+        print(f"repro submit: {error}", file=sys.stderr)
+        if error.retry_after:
+            print(f"repro submit: retry after {error.retry_after}s",
+                  file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"repro submit: connection failed: {error}",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2))
+    return 0
+
+
 def cmd_mix(args) -> int:
     from .sim.runner import collect_result, make_mixed_traces
     from .sim.system import System
@@ -532,6 +670,8 @@ COMMANDS = {
     "crash": cmd_crash,
     "chaos": cmd_chaos,
     "trace": cmd_trace,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
     "mix": cmd_mix,
     "validate": cmd_validate,
 }

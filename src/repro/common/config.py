@@ -23,8 +23,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import typing
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Mapping
 
 from .types import CACHE_LINE_SIZE, ns_to_cycles
 
@@ -324,6 +325,54 @@ def config_fingerprint(config: MachineConfig) -> str:
     """
     payload = json.dumps(dataclasses.asdict(config), sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_to_dict(config: MachineConfig) -> Dict[str, object]:
+    """A machine config as a nested plain dict (JSON-ready).
+
+    The inverse of :func:`config_from_dict`; the round trip is exact
+    because every leaf is an int/float/str/bool and JSON preserves
+    float ``repr`` precision."""
+    return dataclasses.asdict(config)
+
+
+def _dataclass_from_dict(cls, data: Mapping, path: str):
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{path}: expected an object, got {data!r}")
+    hints = typing.get_type_hints(cls)
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"{path}: unknown keys {unknown} "
+                         f"(known: {sorted(known)})")
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        target = hints[f.name]
+        if dataclasses.is_dataclass(target):
+            value = _dataclass_from_dict(target, value,
+                                         f"{path}.{f.name}")
+        kwargs[f.name] = value
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+
+
+def config_from_dict(data: Mapping) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from its nested-dict form.
+
+    Accepts partial dicts — omitted fields take their dataclass
+    defaults — and recurses into every nested config dataclass, so the
+    output of :func:`config_to_dict` (or any hand-written subset of it,
+    e.g. a wire-protocol override block) reconstructs the frozen tree
+    exactly.  Unknown keys raise ``ValueError`` rather than being
+    silently dropped: a typo in a knob name must not produce a
+    default-configured run that *looks* like the requested one.
+    """
+    return _dataclass_from_dict(MachineConfig, data, "config")
 
 
 def paper_machine_config() -> MachineConfig:

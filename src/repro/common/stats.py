@@ -45,6 +45,15 @@ class SampleSummary:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "SampleSummary") -> None:
+        """Fold another summary's observations into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
 
 class Histogram:
     """Power-of-two-bucketed histogram for latency distributions.
@@ -87,6 +96,12 @@ class Histogram:
     def buckets(self) -> Dict[int, int]:
         """bucket index → count (bucket i spans [2^i, 2^(i+1)))."""
         return dict(self._buckets)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        for bucket, count in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+        self.count += other.count
 
 
 class Stats:
@@ -232,6 +247,51 @@ class Stats:
         return the full key-sorted flat dict."""
         self.flush_suppressed()
         return self.as_dict()
+
+    # -- aggregation ---------------------------------------------------
+    def merge(self, other: "Stats", prefix: str = "") -> None:
+        """Fold another registry into this one.
+
+        Counters add, sample summaries and histograms combine exactly
+        (count/total/min/max and per-bucket counts), retained warning
+        messages append up to :data:`MAX_EVENTS_PER_NAME` (overflow is
+        counted as suppressed, never lost), and suppression counts add.
+
+        ``prefix`` is prepended verbatim to every incoming name
+        (callers include the trailing dot, e.g. ``"worker3."``), so
+        per-request or per-worker registries can aggregate into a
+        long-lived server-wide registry without colliding with its own
+        keys.  Merging is additive and repeatable: merging two
+        registries then reading a counter equals the sum of reading
+        each."""
+        rename = (lambda name: prefix + name) if prefix else (lambda n: n)
+        for name, value in other._counters.items():
+            name = rename(name)
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, summary in other._samples.items():
+            name = rename(name)
+            mine = self._samples.get(name)
+            if mine is None:
+                mine = self._samples[name] = SampleSummary()
+            mine.merge(summary)
+        for name, histogram in other._histograms.items():
+            name = rename(name)
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram()
+            mine.merge(histogram)
+        for name, messages in other._events.items():
+            name = rename(name)
+            kept = self._events.setdefault(name, [])
+            for message in messages:
+                if len(kept) < self.MAX_EVENTS_PER_NAME:
+                    kept.append(message)
+                else:
+                    self._suppressed[name] = \
+                        self._suppressed.get(name, 0) + 1
+        for name, count in other._suppressed.items():
+            name = rename(name)
+            self._suppressed[name] = self._suppressed.get(name, 0) + count
 
     def scoped(self, prefix: str) -> "ScopedStats":
         """A view that prefixes every recorded name with ``prefix.``."""

@@ -28,7 +28,8 @@ zero no injector is constructed at all, so the fault layer is a strict
 no-op on the baseline figures.
 """
 
-from .injector import AckFate, FaultInjector
+from .injector import AckFate, FaultInjector, exponential_backoff
 from .ecc import EccOutcome, SECDEDModel
 
-__all__ = ["AckFate", "FaultInjector", "EccOutcome", "SECDEDModel"]
+__all__ = ["AckFate", "FaultInjector", "EccOutcome", "SECDEDModel",
+           "exponential_backoff"]

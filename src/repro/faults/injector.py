@@ -21,6 +21,20 @@ from typing import Dict, Tuple
 from ..common.config import FaultConfig
 
 
+def exponential_backoff(base: float, attempt: int,
+                        max_doublings: int = 10) -> float:
+    """Backoff before 1-based retry ``attempt``: ``base * 2**(attempt-1)``.
+
+    Doubling is capped at ``max_doublings`` so the wait stays bounded
+    however many retries a caller is configured for.  This is the one
+    retry discipline shared by every bounded-retry path in the repo:
+    NVM write-verify-retry (cycles, :meth:`FaultInjector.
+    write_retry_backoff`) and the serving layer's worker-crash retry
+    (seconds, :mod:`repro.serve.pool`).
+    """
+    return base * (1 << min(attempt - 1, max_doublings))
+
+
 class AckFate(enum.Enum):
     """What the interconnect does to one acknowledgment message."""
 
@@ -74,7 +88,8 @@ class FaultInjector:
 
     def write_retry_backoff(self, attempt: int) -> int:
         """Exponential backoff before retry number ``attempt`` (1-based)."""
-        return self.config.retry_backoff_cycles * (1 << min(attempt - 1, 10))
+        return int(exponential_backoff(self.config.retry_backoff_cycles,
+                                       attempt))
 
     def ack_fate(self) -> Tuple[AckFate, int]:
         """Fate of one acknowledgment message: ``(fate, delay_cycles)``."""

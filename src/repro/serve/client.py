@@ -1,0 +1,92 @@
+"""Small synchronous client for the simulation service.
+
+Used by ``repro submit``, the test suite, and the CI smoke job; plain
+:mod:`http.client`, one connection per call, no dependencies.  Every
+non-200 answer raises :class:`ServeError` carrying the HTTP status,
+the decoded error payload, and (for 503 load sheds) the server's
+``Retry-After`` hint, so callers can implement their own backoff::
+
+    client = ServeClient(port=7341)
+    try:
+        response = client.submit({"workload": "sps", "scheme": "txcache",
+                                  "operations": 50,
+                                  "config": {"num_cores": 1}})
+    except ServeError as error:
+        if error.retry_after:          # shed — come back later
+            time.sleep(error.retry_after)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Optional, Tuple
+
+
+class ServeError(RuntimeError):
+    """A non-200 answer from the service."""
+
+    def __init__(self, status: int, payload: Dict[str, object],
+                 retry_after: Optional[int] = None) -> None:
+        message = payload.get("error", "") if isinstance(payload, dict) \
+            else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client for one service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7341,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None
+                 ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} \
+                if body is not None else {}
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except ValueError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            response_headers = {name.lower(): value
+                                for name, value in response.getheaders()}
+            return response.status, response_headers, decoded
+        finally:
+            connection.close()
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
+        status, headers, payload = self._request(method, path, body)
+        if status != 200:
+            retry_after = headers.get("retry-after")
+            raise ServeError(status, payload,
+                             retry_after=int(retry_after)
+                             if retry_after else None)
+        return payload
+
+    # -- endpoints -----------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        return self._checked("GET", "/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self._checked("GET", "/stats")
+
+    def submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Submit one point spec; returns the full 200 response
+        (``key``/``kind``/``cached``/``seconds``/``payload``)."""
+        return self._checked("POST", "/v1/points", body=request)

@@ -1,0 +1,119 @@
+"""Operational surface of the simulation service.
+
+``/healthz`` and ``/stats`` payload construction, wall-clock
+time-sliced telemetry, and graceful SIGTERM/SIGINT drain.
+
+Time slicing reuses the observability layer's
+:class:`~repro.obs.sampler.EpochSampler` unchanged: the sampler is
+clock-agnostic — it samples registered probes whenever its "advance
+hook" crosses an epoch boundary — so the service drives it with
+milliseconds-since-start instead of simulated cycles and gets the same
+bounded-ring, last-boundary-stamped time series the simulator's tracer
+gets.  ``/stats`` exposes the recent series (queue depth, in-flight
+points, cache hit ratio) alongside the aggregate counters, answering
+"what is the server doing *lately*", not just "since boot".
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from typing import Callable, Dict, List
+
+from ..obs.sampler import EpochSampler
+from ..obs.tracer import Tracer
+
+
+class TimeSlicer:
+    """Wall-clock driver for an :class:`EpochSampler`.
+
+    Probes are zero-argument callables; every ``epoch_ms`` of wall
+    time a periodic tick records one value per probe into a bounded
+    tracer ring (newest kept), giving /stats a fixed-memory sliding
+    window regardless of uptime.
+    """
+
+    def __init__(self, epoch_ms: int = 1000,
+                 capacity: int = 1024) -> None:
+        self.epoch_ms = epoch_ms
+        self.tracer = Tracer(capacity=capacity)
+        self.sampler = EpochSampler(self.tracer, epoch=epoch_ms)
+        self._start = time.monotonic()
+
+    def add_probe(self, name: str, probe: Callable[[], object]) -> None:
+        self.sampler.add_probe("serve", "ops", name, probe)
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._start
+
+    def tick(self) -> None:
+        """Advance the sampler to 'now' (milliseconds since start)."""
+        self.sampler.on_advance(int(self.uptime_seconds * 1000))
+
+    def series(self) -> Dict[str, List[List[float]]]:
+        """name → [[ms_since_start, value], ...], oldest first."""
+        out: Dict[str, List[List[float]]] = {}
+        for event in self.tracer.events():
+            if event.get("ph") != "C":
+                continue
+            value = event.get("args", {}).get("value", 0)
+            out.setdefault(event["name"], []).append(
+                [event["ts"], value])
+        return out
+
+
+def healthz_payload(service) -> Dict[str, object]:
+    return {
+        "status": "draining" if service.scheduler.draining else "ok",
+        "uptime_seconds": round(service.slicer.uptime_seconds, 3),
+    }
+
+
+def stats_payload(service) -> Dict[str, object]:
+    """The /stats JSON: aggregate counters + queue/cache gauges +
+    recent time series."""
+    stats = service.stats
+    scheduler = service.scheduler
+    hits = stats.counter("serve.cache.hits")
+    misses = stats.counter("serve.cache.misses")
+    lookups = hits + misses
+    cache: Dict[str, object] = {
+        "configured": scheduler.cache is not None,
+        "hits": hits,
+        "misses": misses,
+        "hit_ratio": round(hits / lookups, 6) if lookups else 0.0,
+    }
+    if scheduler.cache is not None:
+        cache["entries"] = len(scheduler.cache)
+        cache["size_bytes"] = scheduler.cache.size_bytes()
+        cache["max_bytes"] = scheduler.cache.max_bytes
+    return {
+        "uptime_seconds": round(service.slicer.uptime_seconds, 3),
+        "draining": scheduler.draining,
+        "queue_depth": scheduler.queue_depth,
+        "inflight": scheduler.inflight,
+        "max_queue": scheduler.max_queue,
+        "max_inflight": scheduler.max_inflight,
+        "jobs": service.fleet.jobs,
+        "cache": cache,
+        "counters": stats.dump(),
+        "timeseries": service.slicer.series(),
+    }
+
+
+def install_signal_handlers(loop, shutdown: Callable[[], None],
+                            signals=(signal.SIGTERM,
+                                     signal.SIGINT)) -> List[int]:
+    """Route SIGTERM/SIGINT into a graceful drain; returns the signal
+    numbers actually installed (platforms without
+    ``loop.add_signal_handler`` — or non-main threads — get none and
+    rely on the caller's fallback)."""
+    installed: List[int] = []
+    for signum in signals:
+        try:
+            loop.add_signal_handler(signum, shutdown)
+        except (NotImplementedError, RuntimeError, ValueError):
+            continue
+        installed.append(signum)
+    return installed

@@ -1,0 +1,305 @@
+"""The asyncio front-end: a minimal HTTP/1.1 JSON server.
+
+Hand-rolled on :func:`asyncio.start_server` — no frameworks, stdlib
+only, keep-alive supported.  Three endpoints:
+
+=====================  ======================================================
+``POST /v1/points``    body: one point spec (:mod:`repro.serve.protocol`);
+                       200 answers ``{"key", "cached", "seconds",
+                       "payload"}`` where ``payload`` is byte-identical
+                       to what the batch engine caches for that key
+``GET /healthz``       liveness + drain state
+``GET /stats``         counters, queue/cache gauges, recent time series
+=====================  ======================================================
+
+Error mapping: malformed spec → 400; queue full → 503 with a
+``Retry-After`` header; draining → 503; per-request deadline expired →
+504; worker crashed past its retry budget (or any execution error) →
+500.  Responses are always JSON with an ``"error"`` field on non-200.
+
+Graceful shutdown (SIGTERM/SIGINT or :meth:`ServeService.
+request_shutdown`): stop accepting connections, answer in-flight
+keep-alive requests with 503, drain the scheduler (every admitted
+point finishes and lands in the cache), then stop the fleet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..common.stats import Stats
+from ..sim.parallel import ResultCache
+from .ops import (
+    TimeSlicer,
+    healthz_payload,
+    install_signal_handlers,
+    stats_payload,
+)
+from .pool import WorkerCrashed, WorkerFleet
+from .protocol import ProtocolError, parse_request
+from .scheduler import DeadlineExpired, Draining, QueueFull, Scheduler
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            503: "Service Unavailable", 504: "Gateway Timeout"}
+
+#: request body ceiling — a point spec is small; anything bigger is abuse
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServeService:
+    """One long-lived simulation service instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7341,
+                 jobs: int = 2, cache_dir=None,
+                 max_queue: int = 64, max_inflight: Optional[int] = None,
+                 cache_max_bytes: Optional[int] = None,
+                 default_deadline: Optional[float] = None,
+                 epoch_ms: int = 1000,
+                 ready_callback=None) -> None:
+        self.host = host
+        self.port = port          # requested; 0 = ephemeral
+        self.bound_port: Optional[int] = None
+        self.default_deadline = default_deadline
+        self.stats = Stats()
+        self.fleet = WorkerFleet(jobs=jobs, stats=self.stats)
+        cache = (ResultCache(cache_dir, max_bytes=cache_max_bytes)
+                 if cache_dir is not None else None)
+        self.scheduler = Scheduler(self.fleet, cache=cache,
+                                   max_queue=max_queue,
+                                   max_inflight=max_inflight,
+                                   stats=self.stats)
+        self.slicer = TimeSlicer(epoch_ms=epoch_ms)
+        self.slicer.add_probe("queue_depth",
+                              lambda: self.scheduler.queue_depth)
+        self.slicer.add_probe("inflight",
+                              lambda: self.scheduler.inflight)
+        self.slicer.add_probe("cache_hit_ratio", self._hit_ratio)
+        self._ready_callback = ready_callback
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._connections: Dict[asyncio.Task, asyncio.StreamWriter] = {}
+        self._busy: set = set()   # connection tasks mid-request
+
+    def _hit_ratio(self) -> float:
+        hits = self.stats.counter("serve.cache.hits")
+        lookups = hits + self.stats.counter("serve.cache.misses")
+        return round(hits / lookups, 6) if lookups else 0.0
+
+    # -- lifecycle -----------------------------------------------------
+    def request_shutdown(self) -> None:
+        """Trigger a graceful drain; callable from any thread."""
+        loop, shutdown = self._loop, self._shutdown
+        if loop is None or shutdown is None:
+            return
+        loop.call_soon_threadsafe(shutdown.set)
+
+    async def run(self, install_signals: bool = True) -> None:
+        """Serve until shutdown is requested, then drain and exit."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(self._handle_connection,
+                                            self.host, self.port)
+        self.bound_port = server.sockets[0].getsockname()[1]
+        if install_signals:
+            install_signal_handlers(self._loop, self._shutdown.set)
+        ticker = asyncio.create_task(self._tick_forever())
+        if self._ready_callback is not None:
+            self._ready_callback(self.bound_port)
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self.scheduler.drain()
+            # Drop idle keep-alive connections so their handler tasks
+            # finish before the loop tears down (readline sees EOF).
+            # Busy handlers still hold a drained result to write; they
+            # close themselves after responding (draining check below).
+            for conn_task, conn_writer in list(self._connections.items()):
+                if conn_task not in self._busy:
+                    conn_writer.close()
+            if self._connections:
+                await asyncio.wait(set(self._connections), timeout=5)
+            ticker.cancel()
+            try:
+                await ticker
+            except asyncio.CancelledError:
+                pass
+            self.fleet.shutdown()
+
+    async def _tick_forever(self) -> None:
+        while True:
+            await asyncio.sleep(self.slicer.epoch_ms / 1000.0)
+            self.slicer.tick()
+
+    # -- HTTP ----------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections[task] = writer
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                self.stats.inc("serve.http.requests")
+                self._busy.add(task)
+                try:
+                    status, payload, extra = await self._dispatch(
+                        method, target, body)
+                finally:
+                    self._busy.discard(task)
+                self.stats.inc(f"serve.http.{status}")
+                keep_alive = headers.get("connection", "").lower() \
+                    != "close"
+                await self._respond(writer, status, payload, extra,
+                                    keep_alive)
+                if not keep_alive or self.scheduler.draining:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.LimitOverrunError, ValueError):
+            pass  # half-closed or garbage connection: just drop it
+        finally:
+            self._connections.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        """Parse one HTTP/1.1 request; None at EOF."""
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ValueError("malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        if not 0 <= length <= MAX_BODY_BYTES:
+            raise ValueError("unreasonable content-length")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: Dict[str, object],
+                       extra: Dict[str, str], keep_alive: bool) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(blob)}",
+                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        lines.extend(f"{name}: {value}" for name, value in extra.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + blob)
+        await writer.drain()
+
+    async def _dispatch(self, method: str, target: str, body: bytes
+                        ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        target = target.split("?", 1)[0]
+        if target == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}, {}
+            return 200, healthz_payload(self), {}
+        if target == "/stats":
+            if method != "GET":
+                return 405, {"error": "use GET"}, {}
+            return 200, stats_payload(self), {}
+        if target == "/v1/points":
+            if method != "POST":
+                return 405, {"error": "use POST"}, {}
+            return await self._submit(body)
+        return 404, {"error": f"no such endpoint {target!r}"}, {}
+
+    async def _submit(self, body: bytes
+                      ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return 400, {"error": "request body is not valid JSON"}, {}
+        try:
+            request = parse_request(data)
+        except ProtocolError as error:
+            return 400, {"error": str(error)}, {}
+        deadline = (request.deadline if request.deadline is not None
+                    else self.default_deadline)
+        try:
+            result = await self.scheduler.submit(request.point,
+                                                 deadline=deadline)
+        except QueueFull as error:
+            return 503, {"error": str(error),
+                         "retry_after": error.retry_after}, \
+                {"Retry-After": str(error.retry_after)}
+        except Draining:
+            return 503, {"error": "service is draining"}, \
+                {"Retry-After": "5"}
+        except DeadlineExpired as error:
+            return 504, {"error": str(error)}, {}
+        except WorkerCrashed as error:
+            return 500, {"error": str(error)}, {}
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 — surface, don't die
+            return 500, {"error": f"{type(error).__name__}: {error}"}, {}
+        result = dict(result)
+        result["kind"] = request.point.kind
+        return 200, result, {}
+
+
+def serve_forever(host: str = "127.0.0.1", port: int = 7341,
+                  jobs: int = 2, cache_dir=None, max_queue: int = 64,
+                  max_inflight: Optional[int] = None,
+                  cache_max_bytes: Optional[int] = None,
+                  announce=None) -> int:
+    """Blocking entry point for ``repro serve``: build a service, run
+    it until SIGTERM/SIGINT, drain, and return 0."""
+    def ready(bound_port: int) -> None:
+        if announce is not None:
+            announce(bound_port)
+
+    service = ServeService(host=host, port=port, jobs=jobs,
+                           cache_dir=cache_dir, max_queue=max_queue,
+                           max_inflight=max_inflight,
+                           cache_max_bytes=cache_max_bytes,
+                           ready_callback=ready)
+    asyncio.run(service.run())
+    return 0
+
+
+def run_in_thread(service: ServeService
+                  ) -> Tuple[threading.Thread, int]:
+    """Start a service on a daemon thread; returns ``(thread,
+    bound_port)`` once the socket is listening.  The test-suite (and
+    notebook) harness — production uses :func:`serve_forever`."""
+    ready = threading.Event()
+    ports = []
+    previous = service._ready_callback
+
+    def on_ready(port: int) -> None:
+        ports.append(port)
+        ready.set()
+        if previous is not None:
+            previous(port)
+
+    service._ready_callback = on_ready
+    thread = threading.Thread(
+        target=lambda: asyncio.run(service.run(install_signals=False)),
+        name="repro-serve", daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("service failed to start within 30s")
+    return thread, ports[0]

@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -304,9 +305,17 @@ class ChaosPoint:
         return ChaosRun.from_dict(payload)
 
 
-def _execute_point(point) -> Tuple[str, Dict[str, object], float]:
-    """Worker entry: run one point, return (key, payload, seconds).
+#: kind string → point dataclass, for callers (the serving layer's wire
+#: protocol, notebooks) that build points from external descriptions
+POINT_KINDS = {cls.kind: cls for cls in (ExperimentPoint, RunLengthPoint,
+                                         CrashPoint, ChaosPoint)}
 
+
+def execute_point(point) -> Tuple[str, Dict[str, object], float]:
+    """Run one experiment point: returns ``(key, payload, seconds)``.
+
+    The single point-execution entry shared by the batch engine's
+    workers and the serving layer's worker fleet (:mod:`repro.serve`).
     Module-level so it pickles; the point dataclasses carry everything
     a worker needs (config included) and regenerate traces locally."""
     start = time.perf_counter()
@@ -324,11 +333,27 @@ class ResultCache:
     purely for human debugging (``jq .spec`` answers "what run is
     this?").  A missing, unreadable, or malformed file is a miss, never
     an error: the point simply re-simulates and overwrites it.
+
+    Safe for concurrent writers: entries are written to a
+    per-process+thread ``.tmp`` name and published with
+    :func:`os.replace`, so a reader (or a concurrent eviction) only
+    ever sees a complete file, and two writers racing on one key both
+    leave a valid entry (last replace wins — the payloads are identical
+    by construction, the key is a content hash of the spec).
+
+    ``max_bytes`` turns on a size cap for long-lived servers: after
+    each write the cache evicts oldest-mtime entries until the total
+    size of ``*.json`` entries is back under the cap (the entry just
+    written is never evicted, so a cap smaller than one payload still
+    serves that payload).
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
 
     def path(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
@@ -347,13 +372,54 @@ class ResultCache:
     def put(self, key: str, spec: Dict[str, object],
             payload: Dict[str, object]) -> None:
         path = self.path(key)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp = path.with_name(
+            f"{path.name}.tmp{os.getpid()}.{threading.get_ident()}")
         # no sort_keys: dict insertion order must survive the
         # round-trip so cached results render byte-identically to
         # freshly simulated ones
         tmp.write_text(json.dumps(
             {"key": key, "spec": spec, "payload": payload}))
         os.replace(tmp, path)
+        if self.max_bytes is not None:
+            self._evict(keep=path.name)
+
+    def size_bytes(self) -> int:
+        """Total size of all cache entries (tmp files excluded)."""
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _evict(self, keep: str) -> int:
+        """Delete oldest-mtime entries until the cache fits
+        ``max_bytes`` again; returns how many were evicted.  A file
+        vanishing mid-scan (concurrent eviction by another server
+        sharing the directory) is skipped, not an error."""
+        entries = []
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path.name, stat.st_size, path))
+            total += stat.st_size
+        evicted = 0
+        for _mtime, name, size, path in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if name == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        return evicted
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
@@ -454,9 +520,9 @@ class ExperimentEngine:
     def _execute(self, pending: List) -> List[Tuple[str, Dict[str, object],
                                                     float]]:
         if self.jobs == 1 or len(pending) == 1:
-            return [_execute_point(point) for point in pending]
+            return [execute_point(point) for point in pending]
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_execute_point, point)
+            futures = [pool.submit(execute_point, point)
                        for point in pending]
             return [future.result() for future in futures]

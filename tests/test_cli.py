@@ -145,3 +145,77 @@ class TestTraceSimulation:
     def test_workload_required(self, capsys):
         assert main(["trace"]) == 2
         assert "workload is required" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_prints_and_exits_zero(self, capsys):
+        from repro.cli import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {package_version()}"
+
+    def test_version_matches_pyproject(self):
+        import pathlib
+        from repro.cli import package_version
+
+        pyproject = pathlib.Path(__file__).resolve().parent.parent \
+            / "pyproject.toml"
+        assert f'version = "{package_version()}"' in pyproject.read_text()
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7341
+        assert args.jobs == 2
+        assert args.max_queue == 64
+        assert args.max_inflight is None
+        assert args.cache_dir is None
+        assert args.cache_max_bytes is None
+
+    def test_all_knobs(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "4", "--cache-dir", "/tmp/c",
+             "--max-queue", "16", "--max-inflight", "2",
+             "--cache-max-bytes", "1048576"])
+        assert (args.port, args.jobs, args.max_queue,
+                args.max_inflight, args.cache_max_bytes) \
+            == (0, 4, 16, 2, 1048576)
+
+
+class TestSubmit:
+    def test_flags_build_the_wire_request(self):
+        from repro.cli import _submit_request_from_args
+
+        args = build_parser().parse_args(
+            ["submit", "sps", "txcache", "--operations", "20",
+             "--seed", "7", "--cores", "1", "--preset", "small",
+             "--deadline-ms", "500"])
+        assert _submit_request_from_args(args) == {
+            "kind": "experiment", "workload": "sps", "scheme": "txcache",
+            "operations": 20, "seed": 7, "deadline_ms": 500,
+            "config": {"num_cores": 1, "preset": "small"},
+        }
+
+    def test_file_spec_is_passed_through_verbatim(self, tmp_path):
+        from repro.cli import _submit_request_from_args
+
+        spec = {"workload": "sps", "scheme": "wal", "operations": 9}
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(spec))
+        args = build_parser().parse_args(["submit", "--file", str(path)])
+        assert _submit_request_from_args(args) == spec
+
+    def test_missing_workload_is_usage_error(self, capsys):
+        assert main(["submit"]) == 2
+        assert "WORKLOAD" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_one(self, capsys):
+        # nothing listens on port 1
+        assert main(["submit", "sps", "txcache",
+                     "--port", "1", "--timeout", "2"]) == 1
+        assert "connection failed" in capsys.readouterr().err

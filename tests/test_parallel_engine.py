@@ -127,6 +127,69 @@ class TestResultCache:
         entry = json.loads(cache.path("k1").read_text())
         assert entry["spec"] == {"workload": "sps"}
 
+    def test_put_leaves_no_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {}, {"cycles": 7})
+        assert [path.name for path in tmp_path.iterdir()] == ["k1.json"]
+
+    def test_concurrent_writers_always_leave_valid_entries(self, tmp_path):
+        import threading as _threading
+
+        cache = ResultCache(tmp_path)
+        errors = []
+
+        def hammer(worker):
+            try:
+                for i in range(25):
+                    cache.put("shared", {"w": worker},
+                              {"cycles": 7, "i": i})
+                    assert cache.get("shared") is not None
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [_threading.Thread(target=hammer, args=(w,))
+                   for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        payload = cache.get("shared")
+        assert payload is not None and payload["cycles"] == 7
+        assert sorted(path.name for path in tmp_path.iterdir()) \
+            == ["shared.json"]
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=0)
+
+    def test_cap_evicts_oldest_mtime_first(self, tmp_path):
+        import os as _os
+
+        filler = ResultCache(tmp_path)          # uncapped: no eviction
+        for index, key in enumerate(("old", "mid", "new")):
+            filler.put(key, {}, {"pad": "x" * 200})
+            _os.utime(filler.path(key), (100 + index, 100 + index))
+        entry_size = filler.path("old").stat().st_size
+        capped = ResultCache(tmp_path, max_bytes=entry_size * 2 + 10)
+        capped.put("now", {}, {"pad": "x" * 200})
+        assert capped.get("old") is None        # oldest two went
+        assert capped.get("mid") is None
+        assert capped.get("new") is not None
+        assert capped.get("now") is not None
+        assert capped.size_bytes() <= capped.max_bytes
+
+    def test_just_written_entry_survives_tiny_cap(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=1)
+        cache.put("only", {}, {"pad": "x" * 200})
+        assert cache.get("only") is not None    # never evicts itself
+
+    def test_uncapped_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(5):
+            cache.put(f"k{index}", {}, {"pad": "x" * 200})
+        assert len(cache) == 5
+
 
 class TestEngineBasics:
     def test_rejects_nonpositive_jobs(self):

@@ -1,0 +1,596 @@
+"""Tests for the simulation service (repro.serve).
+
+Three layers, matched to the subsystem's structure:
+
+* **protocol** — a wire spec builds the *identical* frozen point (and
+  therefore the identical cache key) the batch engine builds, and every
+  malformed spec is a :class:`ProtocolError`, never a crashed worker;
+* **scheduler/pool** — coalescing, load shedding, deadline expiry,
+  cancellation, drain, and crash-retry are tested deterministically
+  against stub fleets (no timing races);
+* **end-to-end over HTTP** — a real service on an ephemeral port: the
+  served payload is byte-identical to the batch engine's for the same
+  spec key, concurrent duplicates coalesce to one execution, and a warm
+  cache hit answers in under 100 ms.
+"""
+
+import asyncio
+import json
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.common.config import (
+    config_from_dict,
+    config_to_dict,
+    paper_machine_config,
+    small_machine_config,
+)
+from repro.serve import (
+    DeadlineExpired,
+    Draining,
+    ProtocolError,
+    QueueFull,
+    Scheduler,
+    ServeClient,
+    ServeError,
+    ServeService,
+    WorkerCrashed,
+    WorkerFleet,
+    parse_request,
+    run_in_thread,
+)
+from repro.sim.parallel import (
+    ExperimentEngine,
+    ExperimentPoint,
+    ResultCache,
+)
+
+CONFIG = small_machine_config(num_cores=1)
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------------------
+# config dict round trip
+# ---------------------------------------------------------------------------
+class TestConfigDict:
+    def test_round_trip_is_exact(self):
+        for config in (small_machine_config(num_cores=2),
+                       paper_machine_config()):
+            assert config_from_dict(config_to_dict(config)) == config
+
+    def test_partial_dict_takes_defaults(self):
+        config = config_from_dict({"num_cores": 3})
+        assert config.num_cores == 3
+        assert config.txcache == paper_machine_config().txcache
+
+    def test_unknown_key_rejected_with_path(self):
+        with pytest.raises(ValueError, match="config.txcache"):
+            config_from_dict({"txcache": {"sise_bytes": 1024}})
+
+    def test_invalid_value_surfaces_as_value_error(self):
+        with pytest.raises(ValueError, match="overflow_threshold"):
+            config_from_dict(
+                {"txcache": {"overflow_threshold": 2.0}})
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_round_trip_builds_engine_identical_point(self):
+        request = parse_request({
+            "kind": "experiment", "workload": "sps", "scheme": "txcache",
+            "operations": 20, "seed": 7,
+            "config": {"preset": "small", "num_cores": 1},
+        })
+        direct = ExperimentPoint("sps", "txcache", CONFIG,
+                                 operations=20, seed=7)
+        assert request.point == direct
+        assert request.key == direct.key
+
+    def test_defaults_match_point_defaults(self):
+        request = parse_request({"workload": "sps", "scheme": "txcache"})
+        assert request.point.kind == "experiment"
+        assert request.point.operations == 300
+        assert request.point.seed == 42
+        assert request.deadline is None
+
+    def test_overrides_reach_nested_knobs(self):
+        request = parse_request({
+            "workload": "sps", "scheme": "txcache",
+            "config": {"num_cores": 1,
+                       "overrides": {"txcache": {"size_bytes": 8192}}},
+        })
+        assert request.point.config.txcache.size_bytes == 8192
+        # everything else still the small preset
+        assert request.point.config.l1 == CONFIG.l1
+
+    def test_crash_kind_requires_cycle_fields(self):
+        base = {"kind": "crash", "workload": "sps", "scheme": "txcache"}
+        with pytest.raises(ProtocolError, match="crash_cycle"):
+            parse_request(base)
+        request = parse_request(
+            dict(base, crash_cycle=100, total_cycles=400,
+                 config={"num_cores": 1}))
+        assert request.point.kind == "crash"
+
+    def test_cycle_fields_rejected_on_plain_points(self):
+        with pytest.raises(ProtocolError, match="crash/chaos"):
+            parse_request({"workload": "sps", "scheme": "txcache",
+                           "crash_cycle": 5})
+
+    def test_deadline_ms_converts_to_seconds(self):
+        request = parse_request({"workload": "sps", "scheme": "txcache",
+                                 "deadline_ms": 1500})
+        assert request.deadline == pytest.approx(1.5)
+
+    @pytest.mark.parametrize("bad", [
+        {"workload": "nope", "scheme": "txcache"},
+        {"workload": "sps", "scheme": "nope"},
+        {"workload": "sps", "scheme": "txcache", "kind": "nope"},
+        {"workload": "sps", "scheme": "txcache", "operations": 0},
+        {"workload": "sps", "scheme": "txcache", "operations": True},
+        {"workload": "sps", "scheme": "txcache", "typo_key": 1},
+        {"workload": "sps", "scheme": "txcache",
+         "config": {"preset": "huge"}},
+        {"workload": "sps", "scheme": "txcache",
+         "config": {"overrides": {"txcache": {"typo": 1}}}},
+        {"workload": "sps", "scheme": "txcache",
+         "workload_params": {"x": [1, 2]}},
+        "not an object",
+    ])
+    def test_malformed_requests_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_request(bad)
+
+    def test_invalid_config_values_are_protocol_errors(self):
+        # an override that passes construction but fails validation
+        # (LLC geometry that does not divide into sets)
+        with pytest.raises(ProtocolError):
+            parse_request({
+                "workload": "sps", "scheme": "txcache",
+                "config": {"overrides": {"llc": {"size_bytes": 1000}}},
+            })
+
+
+# ---------------------------------------------------------------------------
+# deterministic fleet stubs
+# ---------------------------------------------------------------------------
+class GatedFleet:
+    """Async fleet whose executions block on an event; counts calls."""
+
+    jobs = 4
+
+    def __init__(self):
+        self.calls = 0
+        self.gate = asyncio.Event()
+
+    async def execute(self, point):
+        self.calls += 1
+        await self.gate.wait()
+        return point.key, {"total_cycles": self.calls}, 0.01
+
+
+class FailingFleet:
+    jobs = 1
+
+    async def execute(self, point):
+        raise RuntimeError("simulated execution bug")
+
+
+def _point(operations=20, seed=42):
+    return ExperimentPoint("sps", "txcache", CONFIG,
+                           operations=operations, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# scheduler
+# ---------------------------------------------------------------------------
+class TestScheduler:
+    def test_identical_concurrent_requests_coalesce_to_one_execution(self):
+        async def scenario():
+            fleet = GatedFleet()
+            scheduler = Scheduler(fleet, max_queue=8)
+            submits = [asyncio.create_task(scheduler.submit(_point()))
+                       for _ in range(5)]
+            while fleet.calls == 0:      # first request reached the fleet
+                await asyncio.sleep(0)
+            fleet.gate.set()
+            results = await asyncio.gather(*submits)
+            return fleet.calls, results, scheduler.stats
+
+        calls, results, stats = run_async(scenario())
+        assert calls == 1
+        assert all(result == results[0] for result in results)
+        assert stats.counter("serve.coalesced") == 4
+        assert stats.counter("serve.admitted") == 1
+        assert stats.counter("serve.executed") == 1
+
+    def test_distinct_points_do_not_coalesce(self):
+        async def scenario():
+            fleet = GatedFleet()
+            fleet.gate.set()
+            scheduler = Scheduler(fleet, max_queue=8)
+            a = await scheduler.submit(_point(seed=1))
+            b = await scheduler.submit(_point(seed=2))
+            return fleet.calls, a, b
+
+        calls, a, b = run_async(scenario())
+        assert calls == 2
+        assert a["key"] != b["key"]
+
+    def test_queue_full_sheds_with_retry_after(self):
+        async def scenario():
+            fleet = GatedFleet()
+            scheduler = Scheduler(fleet, max_queue=2, max_inflight=1)
+            first = asyncio.create_task(scheduler.submit(_point(seed=1)))
+            while fleet.calls == 0:      # seed=1 now holds the one slot
+                await asyncio.sleep(0)
+            queued = [asyncio.create_task(scheduler.submit(_point(seed=s)))
+                      for s in (2, 3)]
+            await asyncio.sleep(0)
+            assert scheduler.queue_depth == 2
+            with pytest.raises(QueueFull) as excinfo:
+                await scheduler.submit(_point(seed=4))
+            assert excinfo.value.retry_after >= 1
+            # coalescing onto an in-flight point is NOT shed
+            rider = asyncio.create_task(scheduler.submit(_point(seed=1)))
+            await asyncio.sleep(0)
+            fleet.gate.set()
+            await asyncio.gather(first, rider, *queued)
+            return scheduler.stats
+
+        stats = run_async(scenario())
+        assert stats.counter("serve.shed") == 1
+        assert stats.counter("serve.coalesced") == 1
+
+    def test_deadline_expiry_is_per_waiter(self):
+        async def scenario():
+            fleet = GatedFleet()
+            scheduler = Scheduler(fleet, max_queue=8)
+            patient = asyncio.create_task(scheduler.submit(_point()))
+            while fleet.calls == 0:
+                await asyncio.sleep(0)
+            with pytest.raises(DeadlineExpired):
+                await scheduler.submit(_point(), deadline=0.01)
+            # the shared computation survived the impatient waiter
+            fleet.gate.set()
+            result = await patient
+            return result, scheduler.stats
+
+        result, stats = run_async(scenario())
+        assert result["cached"] is False
+        assert stats.counter("serve.deadline_expired") == 1
+        assert stats.counter("serve.executed") == 1
+
+    def test_abandoned_queued_point_is_cancelled(self):
+        async def scenario():
+            fleet = GatedFleet()
+            scheduler = Scheduler(fleet, max_queue=8, max_inflight=1)
+            blocker = asyncio.create_task(scheduler.submit(_point(seed=1)))
+            while fleet.calls == 0:
+                await asyncio.sleep(0)
+            # sole waiter on a *queued* (never started) point times out
+            with pytest.raises(DeadlineExpired):
+                await scheduler.submit(_point(seed=2), deadline=0.01)
+            await asyncio.sleep(0)       # let the cancellation land
+            fleet.gate.set()
+            await blocker
+            return fleet.calls, scheduler.stats
+
+        calls, stats = run_async(scenario())
+        assert calls == 1                # seed=2 never burned a worker
+        assert stats.counter("serve.cancelled") == 1
+
+    def test_cache_hit_bypasses_admission(self, tmp_path):
+        async def scenario():
+            fleet = GatedFleet()
+            cache = ResultCache(tmp_path)
+            scheduler = Scheduler(fleet, cache=cache, max_queue=1,
+                                  max_inflight=1)
+            point = _point()
+            cache.put(point.key, point.spec(), {"total_cycles": 9})
+            # saturate the queue with a different point
+            blocker = asyncio.create_task(
+                scheduler.submit(_point(seed=99)))
+            while fleet.calls == 0:
+                await asyncio.sleep(0)
+            queued = asyncio.create_task(scheduler.submit(_point(seed=98)))
+            await asyncio.sleep(0)
+            # the warm point answers despite the full queue
+            result = await scheduler.submit(point)
+            fleet.gate.set()
+            await asyncio.gather(blocker, queued)
+            return result
+
+        result = run_async(scenario())
+        assert result["cached"] is True
+        assert result["payload"] == {"total_cycles": 9}
+
+    def test_execution_writes_through_to_cache(self, tmp_path):
+        async def scenario():
+            fleet = GatedFleet()
+            fleet.gate.set()
+            cache = ResultCache(tmp_path)
+            scheduler = Scheduler(fleet, cache=cache, max_queue=8)
+            first = await scheduler.submit(_point())
+            second = await scheduler.submit(_point())
+            return fleet.calls, first, second
+
+        calls, first, second = run_async(scenario())
+        assert calls == 1
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["payload"] == first["payload"]
+
+    def test_execution_error_propagates_to_every_waiter(self):
+        async def scenario():
+            scheduler = Scheduler(FailingFleet(), max_queue=8)
+            submits = [asyncio.create_task(scheduler.submit(_point()))
+                       for _ in range(3)]
+            results = await asyncio.gather(*submits,
+                                           return_exceptions=True)
+            return results, scheduler.stats
+
+        results, stats = run_async(scenario())
+        assert all(isinstance(result, RuntimeError)
+                   for result in results)
+        assert stats.counter("serve.errors") == 1
+
+    def test_drain_rejects_new_and_finishes_inflight(self):
+        async def scenario():
+            fleet = GatedFleet()
+            scheduler = Scheduler(fleet, max_queue=8)
+            inflight = asyncio.create_task(scheduler.submit(_point()))
+            while fleet.calls == 0:
+                await asyncio.sleep(0)
+            drain = asyncio.create_task(scheduler.drain())
+            await asyncio.sleep(0)
+            with pytest.raises(Draining):
+                await scheduler.submit(_point(seed=2))
+            fleet.gate.set()
+            await drain
+            result = await inflight
+            return result, scheduler.inflight
+
+        result, inflight = run_async(scenario())
+        assert result["payload"] == {"total_cycles": 1}
+        assert inflight == 0
+
+
+# ---------------------------------------------------------------------------
+# worker fleet
+# ---------------------------------------------------------------------------
+class BrokenPoolFleet(WorkerFleet):
+    """Fleet whose first ``failures`` submissions break the pool."""
+
+    def __init__(self, failures, **kwargs):
+        super().__init__(retry_backoff_seconds=0.001, **kwargs)
+        self.failures = failures
+        self.submissions = 0
+
+    def _submit(self, point):
+        self.submissions += 1
+        if self.submissions <= self.failures:
+            future = Future()
+            future.set_exception(
+                BrokenProcessPool("worker died"))
+            return future
+        future = Future()
+        future.set_result((point.key, {"ok": 1}, 0.0))
+        return future
+
+
+class TestWorkerFleet:
+    def test_recovers_within_retry_budget(self):
+        fleet = BrokenPoolFleet(failures=2, jobs=1, max_retries=2)
+        key, payload, _seconds = run_async(fleet.execute(_point()))
+        assert payload == {"ok": 1}
+        assert fleet.stats.counter("pool.retries") == 2
+        assert fleet.stats.counter("pool.broken") == 2
+
+    def test_crash_past_budget_raises_worker_crashed(self):
+        fleet = BrokenPoolFleet(failures=10, jobs=1, max_retries=1)
+        with pytest.raises(WorkerCrashed):
+            run_async(fleet.execute(_point()))
+        assert fleet.stats.counter("pool.broken") == 2  # 1 try + 1 retry
+
+    def test_real_pool_executes_points(self):
+        fleet = WorkerFleet(jobs=1)
+        try:
+            key, payload, seconds = run_async(
+                fleet.execute(_point(operations=5)))
+            assert key == _point(operations=5).key
+            assert payload["cycles"] > 0
+            assert seconds > 0
+        finally:
+            fleet.shutdown()
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="crash helper pickles by reference; needs fork")
+    def test_real_worker_crash_returns_500_error(self):
+        fleet = WorkerFleet(jobs=1, max_retries=1,
+                            retry_backoff_seconds=0.001)
+        try:
+            with pytest.raises(WorkerCrashed):
+                run_async(fleet.execute(KamikazePoint()))
+            assert fleet.stats.counter("pool.broken") == 2
+        finally:
+            fleet.shutdown()
+
+
+class KamikazePoint:
+    """A 'point' that kills its worker process mid-execution."""
+
+    kind = "kamikaze"
+
+    @property
+    def key(self):
+        return "kamikaze" * 8
+
+    def spec(self):
+        return {"kind": self.kind}
+
+    def execute(self):
+        os._exit(13)
+
+
+# ---------------------------------------------------------------------------
+# end to end over HTTP
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("serve-cache")
+    svc = ServeService(port=0, jobs=1, cache_dir=cache_dir,
+                       max_queue=8)
+    thread, port = run_in_thread(svc)
+    client = ServeClient(port=port, timeout=120)
+    yield svc, client, cache_dir
+    svc.request_shutdown()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+SPEC = {"workload": "sps", "scheme": "txcache", "operations": 20,
+        "config": {"num_cores": 1}}
+
+
+class TestServiceEndToEnd:
+    def test_healthz(self, service):
+        _svc, client, _cache = service
+        health = client.healthz()
+        assert health["status"] == "ok"
+
+    def test_round_trip_and_warm_hit_under_100ms(self, service):
+        _svc, client, _cache = service
+        cold = client.submit(SPEC)
+        assert cold["cached"] is False
+        assert cold["kind"] == "experiment"
+        assert cold["payload"]["cycles"] > 0
+        best = float("inf")
+        for _ in range(3):               # best-of-3 absorbs CI noise
+            start = time.perf_counter()
+            warm = client.submit(SPEC)
+            best = min(best, time.perf_counter() - start)
+            assert warm["cached"] is True
+            assert warm["payload"] == cold["payload"]
+        assert best < 0.1, f"warm hit took {best * 1000:.1f} ms"
+
+    def test_served_payload_byte_identical_to_engine(self, service,
+                                                     tmp_path):
+        _svc, client, _cache = service
+        served = client.submit(SPEC)
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        point = ExperimentPoint("sps", "txcache", CONFIG, operations=20)
+        engine.run([point])
+        assert served["key"] == point.key
+        with open(engine.cache.path(point.key)) as fp:
+            engine_payload = json.load(fp)["payload"]
+        assert json.dumps(served["payload"]) == \
+            json.dumps(engine_payload)
+
+    def test_served_point_warms_the_shared_batch_cache(self, service):
+        svc, client, _cache = service
+        client.submit(SPEC)
+        engine = ExperimentEngine(jobs=1,
+                                  cache_dir=svc.scheduler.cache.root)
+        point = ExperimentPoint("sps", "txcache", CONFIG, operations=20)
+        engine.run([point])
+        assert engine.stats.counter("engine.cache.hits") == 1
+        assert engine.stats.counter("engine.executed") == 0
+
+    def test_concurrent_duplicates_coalesce(self, service):
+        svc, client, _cache = service
+        spec = dict(SPEC, operations=40, seed=4242)  # fresh point
+        executed_before = svc.stats.counter("serve.executed")
+        coalesced_before = svc.stats.counter("serve.coalesced")
+        results = [None] * 4
+        errors = []
+
+        def worker(index):
+            try:
+                results[index] = client.submit(spec)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        payloads = [json.dumps(result["payload"]) for result in results]
+        assert len(set(payloads)) == 1
+        executed = svc.stats.counter("serve.executed") - executed_before
+        coalesced = svc.stats.counter("serve.coalesced") - coalesced_before
+        cached = sum(result["cached"] for result in results)
+        # every duplicate either joined the in-flight computation or
+        # arrived after it finished and hit the cache — never recomputed
+        assert executed == 1
+        assert coalesced + cached == 3
+
+    def test_bad_request_is_400(self, service):
+        _svc, client, _cache = service
+        with pytest.raises(ServeError) as excinfo:
+            client.submit({"workload": "nope", "scheme": "txcache"})
+        assert excinfo.value.status == 400
+        assert "workload" in str(excinfo.value)
+
+    def test_unknown_endpoint_is_404(self, service):
+        _svc, client, _cache = service
+        status, _headers, payload = client._request("GET", "/nope")
+        assert status == 404
+        assert "error" in payload
+
+    def test_stats_endpoint_reports_cache_and_series(self, service):
+        svc, client, _cache = service
+        client.submit(SPEC)
+        # probes sample on epoch boundaries; make sure one has passed
+        while svc.slicer.uptime_seconds < 1.05:
+            time.sleep(0.05)
+        svc.slicer.tick()                # force one sample
+        stats = client.stats()
+        assert stats["cache"]["hits"] >= 1
+        assert 0 < stats["cache"]["hit_ratio"] <= 1
+        assert stats["queue_depth"] == 0
+        assert stats["counters"]["serve.http.200"] >= 1
+        assert "queue_depth" in stats["timeseries"]
+
+    def test_graceful_drain_finishes_inflight_request(self, tmp_path):
+        svc = ServeService(port=0, jobs=1, cache_dir=tmp_path / "c",
+                           max_queue=4)
+        thread, port = run_in_thread(svc)
+        client = ServeClient(port=port, timeout=120)
+        spec = {"workload": "sps", "scheme": "txcache",
+                "operations": 60, "seed": 777,
+                "config": {"num_cores": 1}}
+        box = {}
+
+        def submit():
+            box["response"] = client.submit(spec)
+
+        submitter = threading.Thread(target=submit)
+        submitter.start()
+        # wait until the point is actually admitted, then pull the plug
+        deadline = time.time() + 30
+        while svc.scheduler.inflight == 0 and time.time() < deadline:
+            time.sleep(0.005)
+        svc.request_shutdown()
+        submitter.join(timeout=60)
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert box["response"]["payload"]["cycles"] > 0
+        # ...and the drained point made it into the cache
+        assert svc.scheduler.cache.get(box["response"]["key"]) \
+            is not None

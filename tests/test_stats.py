@@ -153,3 +153,84 @@ class TestWarnSuppression:
             scoped.warn("ack.unmatched", f"ack {i}")
         assert scoped.suppressed("ack.unmatched") == 2
         assert stats.suppressed("tc.0.ack.unmatched") == 2
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a, b = Stats(), Stats()
+        a.inc("hits", 3)
+        b.inc("hits", 4)
+        b.inc("misses")
+        a.merge(b)
+        assert a.counter("hits") == 7
+        assert a.counter("misses") == 1
+        assert b.counter("hits") == 4          # source untouched
+
+    def test_samples_combine_exactly(self):
+        a, b = Stats(), Stats()
+        for value in (10, 20):
+            a.sample("latency", value)
+        for value in (5, 40, 15):
+            b.sample("latency", value)
+        a.merge(b)
+        summary = a.summary("latency")
+        assert summary.count == 5
+        assert summary.total == 90
+        assert summary.minimum == 5
+        assert summary.maximum == 40
+        assert a.mean("latency") == 18
+
+    def test_histograms_combine_per_bucket(self):
+        a, b = Stats(), Stats()
+        for value in (2, 3):
+            a.hist("cycles", value)
+        for value in (2, 100):
+            b.hist("cycles", value)
+        a.merge(b)
+        histogram = a.histogram("cycles")
+        assert histogram.count == 4
+        assert histogram.buckets()[1] == 3     # 2, 3, 2 share [2, 4)
+
+    def test_merge_equals_sum_of_parts(self):
+        # additive and repeatable: merging two registries then reading
+        # equals the sum of reading each
+        a, b = Stats(), Stats()
+        a.inc("n", 2)
+        b.inc("n", 5)
+        total = Stats()
+        total.merge(a)
+        total.merge(b)
+        assert total.counter("n") == a.counter("n") + b.counter("n")
+
+    def test_prefix_prevents_collisions(self):
+        server, worker = Stats(), Stats()
+        server.inc("executed", 10)
+        worker.inc("executed", 3)
+        worker.sample("seconds", 1.5)
+        server.merge(worker, prefix="worker3.")
+        assert server.counter("executed") == 10        # untouched
+        assert server.counter("worker3.executed") == 3
+        assert server.mean("worker3.seconds") == 1.5
+
+    def test_events_append_with_bounded_overflow(self):
+        a, b = Stats(), Stats()
+        for i in range(Stats.MAX_EVENTS_PER_NAME - 1):
+            a.warn("oops", f"a{i}")
+        for i in range(4):
+            b.warn("oops", f"b{i}")
+        a.merge(b)
+        kept = a.events("oops")
+        assert len(kept) == Stats.MAX_EVENTS_PER_NAME
+        assert kept[-1] == "b0"                # first incoming kept
+        assert a.suppressed("oops") == 3       # the rest counted
+
+    def test_suppressed_counts_add(self):
+        a, b = Stats(), Stats()
+        for i in range(Stats.MAX_EVENTS_PER_NAME + 2):
+            b.warn("oops", f"b{i}")
+        assert b.suppressed("oops") == 2
+        a.merge(b)
+        # b's retained events fill a's empty slots; b's own overflow
+        # carries over on top of whatever a had to suppress
+        assert a.suppressed("oops") == 2
+        assert a.counter("oops") == Stats.MAX_EVENTS_PER_NAME + 2
