@@ -24,6 +24,10 @@ Commands
              (see docs/service.md).
 ``submit``   submit one point spec to a running service and print the
              JSON response.
+``cluster``  multi-node serving: ``cluster run`` boots a local N-node
+             fleet behind a consistent-hash router; ``cluster chaos``
+             kills/restarts nodes under live traffic and verifies zero
+             failures + byte-identical payloads (see docs/cluster.md).
 ``workloads``  list registered workloads.
 
 Grid-shaped commands (``sweep``, ``figures``, ``crash``, ``chaos``)
@@ -271,6 +275,52 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--cache-max-bytes", type=int, default=None,
                               help="cap the result cache; oldest entries "
                                    "are evicted past it")
+    serve_parser.add_argument("--node-id", default=None,
+                              help="cluster identity reported by /healthz "
+                                   "and /stats (default: standalone)")
+    serve_parser.add_argument("--port-file", default=None,
+                              help="write the bound port to this file "
+                                   "once listening (fleet harnesses)")
+
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="multi-node serving: boot a local fleet + router, or "
+             "chaos-test one")
+    cluster_parser.add_argument("cluster_mode", choices=["run", "chaos"],
+                                help="run: fleet + router until SIGTERM; "
+                                     "chaos: kill/restart nodes under "
+                                     "live traffic and verify")
+    cluster_parser.add_argument("--nodes", type=int, default=3,
+                                help="serve node processes (default 3)")
+    cluster_parser.add_argument("--replication", type=int, default=2,
+                                help="replicas per spec key (default 2)")
+    cluster_parser.add_argument("--jobs", type=int, default=1,
+                                help="worker processes per node "
+                                     "(default 1)")
+    cluster_parser.add_argument("--port", type=int, default=8341,
+                                help="router listen port (0 = ephemeral; "
+                                     "default 8341)")
+    cluster_parser.add_argument("--host", default="127.0.0.1")
+    cluster_parser.add_argument("--cache-dir", default=None,
+                                help="root for per-node caches and logs "
+                                     "(default: a temp dir)")
+    cluster_parser.add_argument("--retries", type=int, default=4,
+                                help="router failover retry rounds "
+                                     "(default 4)")
+    # chaos-mode knobs
+    cluster_parser.add_argument("--points", type=int, default=9,
+                                help="chaos grid size (default 9)")
+    cluster_parser.add_argument("--operations", type=int, default=8,
+                                help="operations per chaos point "
+                                     "(default 8)")
+    cluster_parser.add_argument("--seed", type=int, default=0,
+                                help="chaos plan seed")
+    cluster_parser.add_argument("--hangs", action="store_true",
+                                help="include a SIGSTOP/SIGCONT pair in "
+                                     "the chaos plan")
+    cluster_parser.add_argument("--no-verify", action="store_true",
+                                help="skip the byte-identity check "
+                                     "against the batch engine")
 
     submit_parser = sub.add_parser(
         "submit", help="submit one point spec to a running service")
@@ -295,6 +345,10 @@ def build_parser() -> argparse.ArgumentParser:
                                     "file ('-' = stdin) instead of flags")
     submit_parser.add_argument("--timeout", type=float, default=300.0,
                                help="client-side socket timeout seconds")
+    submit_parser.add_argument("--retries", type=int, default=0,
+                               help="resubmit through 503 sheds and "
+                                    "connection failures up to N times, "
+                                    "honoring Retry-After (default 0)")
 
     mix_parser = sub.add_parser(
         "mix", help="heterogeneous mix: one workload per core")
@@ -565,17 +619,78 @@ def cmd_serve(args) -> int:
     from .serve import serve_forever
 
     def announce(bound_port: int) -> None:
+        node = f", node_id={args.node_id}" if args.node_id else ""
         print(f"repro serve: listening on {args.host}:{bound_port} "
               f"(jobs={args.jobs}, max_queue={args.max_queue}, "
-              f"cache={args.cache_dir or 'off'})",
+              f"cache={args.cache_dir or 'off'}{node})",
               file=sys.stderr, flush=True)
+        if args.port_file:
+            with open(args.port_file, "w") as fp:
+                fp.write(str(bound_port))
 
     return serve_forever(host=args.host, port=args.port, jobs=args.jobs,
                          cache_dir=args.cache_dir,
                          max_queue=args.max_queue,
                          max_inflight=args.max_inflight,
                          cache_max_bytes=args.cache_max_bytes,
+                         node_id=args.node_id,
                          announce=announce)
+
+
+def cmd_cluster(args) -> int:
+    import tempfile
+
+    from .cluster import LocalFleet, RouterService, default_grid, run_chaos
+
+    if args.nodes < 1:
+        print("repro cluster: error: --nodes must be >= 1",
+              file=sys.stderr)
+        return 2
+    if not 1 <= args.replication <= args.nodes:
+        print("repro cluster: error: --replication must be between 1 "
+              "and --nodes", file=sys.stderr)
+        return 2
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+
+    if args.cluster_mode == "chaos":
+        specs = default_grid(points=args.points,
+                             operations=args.operations)
+        report = run_chaos(
+            specs, cache_root=cache_dir, nodes=args.nodes,
+            replication=args.replication, jobs=args.jobs,
+            seed=args.seed, hangs=args.hangs,
+            client_retries=args.retries + 2,
+            verify=not args.no_verify,
+            progress=lambda message: print(
+                f"repro cluster: {message}", file=sys.stderr, flush=True))
+        print(report.format())
+        return 0 if report.ok else 1
+
+    # run: boot the fleet, put a router in front, serve until SIGTERM
+    import asyncio
+
+    fleet = LocalFleet(nodes=args.nodes, jobs=args.jobs,
+                       cache_root=cache_dir, host=args.host)
+    print(f"repro cluster: booting {args.nodes} node(s) "
+          f"(cache root {cache_dir})...", file=sys.stderr, flush=True)
+    try:
+        fleet.start()
+        for node in fleet.infos():
+            print(f"repro cluster:   {node.node_id} on {node.address}",
+                  file=sys.stderr, flush=True)
+        router = RouterService(
+            fleet.infos(), replication=args.replication,
+            host=args.host, port=args.port, retries=args.retries,
+            ready_callback=lambda port: print(
+                f"repro cluster: router on {args.host}:{port} "
+                f"(replication={args.replication})",
+                file=sys.stderr, flush=True))
+        asyncio.run(router.run())
+    finally:
+        print("repro cluster: draining nodes...", file=sys.stderr,
+              flush=True)
+        fleet.shutdown()
+    return 0
 
 
 def _submit_request_from_args(args) -> dict:
@@ -615,7 +730,7 @@ def cmd_submit(args) -> int:
     client = ServeClient(host=args.host, port=args.port,
                          timeout=args.timeout)
     try:
-        response = client.submit(request)
+        response = client.submit(request, retries=args.retries)
     except ServeError as error:
         print(f"repro submit: {error}", file=sys.stderr)
         if error.retry_after:
@@ -672,6 +787,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "serve": cmd_serve,
     "submit": cmd_submit,
+    "cluster": cmd_cluster,
     "mix": cmd_mix,
     "validate": cmd_validate,
 }

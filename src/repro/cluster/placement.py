@@ -1,0 +1,119 @@
+"""Consistent-hash placement of spec keys onto serve nodes.
+
+Every experiment point already carries a content-derived sha256 spec
+key (:mod:`repro.sim.parallel`); the cluster routes on it.  A
+:class:`HashRing` maps each node to ``vnodes`` pseudo-random points on
+a 64-bit ring (sha256 of ``"{node_id}#{i}"``), and a key is placed on
+the first ``r`` *distinct* nodes clockwise from its own hash — the
+key's **home set**.  The properties that matter here:
+
+* **stability** — adding or removing one node moves only ~1/N of the
+  keys; every other key keeps its home set, and therefore its warm
+  per-node :class:`~repro.sim.parallel.ResultCache` entries;
+* **spread** — vnodes smooth the per-node share, so no node owns a
+  disproportionate slice of the grid;
+* **determinism** — placement is a pure function of the membership
+  list and the key, so every router instance (and every test) computes
+  the same home set with no coordination.
+
+The ring knows nothing about health: it ranks *all* members, and the
+router filters that preference order through live readiness state
+(:mod:`repro.cluster.membership`) at request time.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Optional, Tuple
+
+#: ring points per node; 64 keeps the max/mean key share under ~1.3x
+#: for small fleets while costing only N*64 sorted tuples of memory
+DEFAULT_VNODES = 64
+
+
+def _hash64(value: str) -> int:
+    """First 8 bytes of sha256 as an unsigned int: the ring position."""
+    return int.from_bytes(
+        hashlib.sha256(value.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Node ids are opaque strings; keys are any strings (in the cluster,
+    the engine's sha256 spec keys).  All operations are deterministic.
+    """
+
+    def __init__(self, node_ids: Iterable[str] = (),
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        # two parallel sorted arrays: positions for bisect, owners for
+        # the walk (ties broken by node id so placement stays total)
+        self._points: List[Tuple[int, str]] = []
+        self._positions: List[int] = []
+        self._nodes: set = set()
+        for node_id in node_ids:
+            self.add(node_id)
+
+    # -- membership ----------------------------------------------------
+    def add(self, node_id: str) -> None:
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} already on the ring")
+        self._nodes.add(node_id)
+        for index in range(self.vnodes):
+            bisect.insort(self._points,
+                          (_hash64(f"{node_id}#{index}"), node_id))
+        self._positions = [position for position, _node in self._points]
+
+    def remove(self, node_id: str) -> None:
+        if node_id not in self._nodes:
+            raise ValueError(f"node {node_id!r} not on the ring")
+        self._nodes.discard(node_id)
+        self._points = [point for point in self._points
+                        if point[1] != node_id]
+        self._positions = [position for position, _node in self._points]
+
+    @property
+    def node_ids(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    # -- placement -----------------------------------------------------
+    def preference(self, key: str,
+                   limit: Optional[int] = None) -> List[str]:
+        """Distinct nodes in clockwise order from ``key``'s position.
+
+        The full list (``limit=None``) ranks every member: element 0 is
+        the primary, the next ``r - 1`` complete the home set, and the
+        tail is the failover spillover order.
+        """
+        if not self._points:
+            return []
+        if limit is None:
+            limit = len(self._nodes)
+        start = bisect.bisect_right(self._positions, _hash64(key))
+        order: List[str] = []
+        seen: set = set()
+        for offset in range(len(self._points)):
+            node_id = self._points[(start + offset) % len(self._points)][1]
+            if node_id not in seen:
+                seen.add(node_id)
+                order.append(node_id)
+                if len(order) >= limit:
+                    break
+        return order
+
+    def replicas(self, key: str, r: int) -> List[str]:
+        """The key's home set: its first ``r`` distinct nodes (fewer if
+        the ring has fewer members)."""
+        if r < 1:
+            raise ValueError(f"replication must be >= 1, got {r}")
+        return self.preference(key, limit=r)

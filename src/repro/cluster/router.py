@@ -1,0 +1,431 @@
+"""The cluster front-end: consistent-hash routing with failover.
+
+One :class:`RouterService` sits in front of N ``repro.serve`` nodes
+and turns them into a degradable fleet:
+
+* **Placement** — a request's sha256 spec key is consistent-hashed
+  onto the ring (:mod:`repro.cluster.placement`); its first
+  ``replication`` distinct nodes are the *home set*, so repeats of a
+  key land on the same nodes and hit their warm on-disk caches.
+* **Failover** — candidates are tried in preference order, filtered by
+  live readiness (:mod:`repro.cluster.membership`): home replicas
+  first, then ready non-home nodes as spillover (any node can compute
+  any point — homes are warm, not authoritative), then the raw home
+  set as a last ditch.  A shed (503), a 5xx, a timeout, or a
+  connection failure moves to the next candidate; a connection-level
+  failure also marks the node, so a SIGKILLed process leaves the
+  rotation on the very next request.
+* **Retry discipline** — after one full pass over the candidates the
+  router sleeps the repo's one shared backoff curve
+  (:func:`repro.faults.exponential_backoff`), stretched to the largest
+  ``Retry-After`` any replica answered, re-resolves candidates
+  (membership may have changed under it — that is the point) and tries
+  again, a bounded number of times.  Deterministic rejections
+  (400/404/405) are returned immediately, never retried.
+* **Coalescing** — concurrent requests for one key share a single
+  forward, so a thundering herd on a cold key charges one replica
+  once, not R replicas N times.  (Each node's scheduler coalesces its
+  own clients too; this extends the guarantee across the fleet.)
+* **One cluster view** — ``/stats`` folds every reachable node's
+  counters into a single registry via :meth:`Stats.merge
+  <repro.common.stats.Stats.merge>`, both summed (``cluster``) and
+  per-node-prefixed (``nodes.<id>.*``), alongside the router's own
+  routing counters.
+
+The HTTP surface mirrors one node's (``POST /v1/points``,
+``GET /healthz``, ``GET /stats``), so a :class:`~repro.serve.client.
+ServeClient` pointed at a router needs no changes at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.stats import Stats
+from ..faults import exponential_backoff
+from ..serve.ops import TimeSlicer, install_signal_handlers
+from ..serve.protocol import ProtocolError, parse_request
+from ..serve.server import read_http_request, write_http_response
+from .membership import Membership, NodeInfo
+from .placement import HashRing
+from .transport import request_json
+
+#: node answers that mean "try the next replica" (shed, crashed point,
+#: node-side deadline); anything else 4xx/2xx is final
+_FAILOVER_STATUSES = frozenset({500, 502, 503, 504})
+
+
+class ReplicasExhausted(Exception):
+    """Every candidate failed on every attempt (router answers 503)."""
+
+    def __init__(self, key: str, attempts: int,
+                 retry_after: int) -> None:
+        super().__init__(
+            f"point {key[:12]}…: all replicas failed over "
+            f"{attempts} attempt(s), retry after ~{retry_after}s")
+        self.retry_after = retry_after
+
+
+class RouterService:
+    """Sharded, replicated front-end over a fixed node list."""
+
+    def __init__(self, nodes: Sequence[NodeInfo], replication: int = 2,
+                 host: str = "127.0.0.1", port: int = 8341,
+                 retries: int = 3,
+                 retry_backoff_seconds: float = 0.05,
+                 health_interval_seconds: float = 0.5,
+                 fail_threshold: int = 2,
+                 probe_timeout: float = 2.0,
+                 request_timeout: float = 120.0,
+                 epoch_ms: int = 1000,
+                 ready_callback=None) -> None:
+        nodes = list(nodes)
+        if replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {replication}")
+        if replication > len(nodes):
+            raise ValueError(
+                f"replication {replication} exceeds fleet size "
+                f"{len(nodes)}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.host = host
+        self.port = port
+        self.bound_port: Optional[int] = None
+        self.replication = replication
+        self.retries = retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.health_interval_seconds = health_interval_seconds
+        self.request_timeout = request_timeout
+        self.stats = Stats()
+        self.ring = HashRing(info.node_id for info in nodes)
+        self.membership = Membership(nodes,
+                                     fail_threshold=fail_threshold,
+                                     probe_timeout=probe_timeout,
+                                     stats=self.stats)
+        self.slicer = TimeSlicer(epoch_ms=epoch_ms)
+        self.slicer.add_probe("ready_nodes",
+                              lambda: len(self.membership.ready_ids()))
+        self.slicer.add_probe("inflight", lambda: len(self._inflight))
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._ready_callback = ready_callback
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._connections: Dict[asyncio.Task, asyncio.StreamWriter] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def request_shutdown(self) -> None:
+        """Stop the router; callable from any thread."""
+        loop, shutdown = self._loop, self._shutdown
+        if loop is None or shutdown is None:
+            return
+        loop.call_soon_threadsafe(shutdown.set)
+
+    async def run(self, install_signals: bool = True) -> None:
+        """Route until shutdown is requested."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(self._handle_connection,
+                                            self.host, self.port)
+        self.bound_port = server.sockets[0].getsockname()[1]
+        if install_signals:
+            install_signal_handlers(self._loop, self._shutdown.set)
+        health = asyncio.create_task(self._health_forever())
+        if self._ready_callback is not None:
+            self._ready_callback(self.bound_port)
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # let in-flight forwards answer their clients
+            if self._connections:
+                await asyncio.wait(set(self._connections), timeout=10)
+            health.cancel()
+            try:
+                await health
+            except asyncio.CancelledError:
+                pass
+
+    async def _health_forever(self) -> None:
+        while True:
+            await self.membership.check_once()
+            self.slicer.tick()
+            await asyncio.sleep(self.health_interval_seconds)
+
+    # -- HTTP front ----------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections[task] = writer
+        try:
+            while True:
+                request = await read_http_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                self.stats.inc("cluster.http.requests")
+                status, payload, extra = await self._dispatch(
+                    method, target, body)
+                self.stats.inc(f"cluster.http.{status}")
+                keep_alive = headers.get("connection", "").lower() \
+                    != "close"
+                await write_http_response(writer, status, payload,
+                                          extra, keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.LimitOverrunError, ValueError):
+            pass  # half-closed or garbage connection: just drop it
+        finally:
+            self._connections.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, method: str, target: str, body: bytes
+                        ) -> Tuple[int, Dict[str, object],
+                                   Dict[str, str]]:
+        target = target.split("?", 1)[0]
+        if target == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}, {}
+            return 200, self.healthz_payload(), {}
+        if target == "/stats":
+            if method != "GET":
+                return 405, {"error": "use GET"}, {}
+            return 200, await self.cluster_stats(), {}
+        if target == "/v1/points":
+            if method != "POST":
+                return 405, {"error": "use POST"}, {}
+            return await self._submit(body)
+        return 404, {"error": f"no such endpoint {target!r}"}, {}
+
+    def healthz_payload(self) -> Dict[str, object]:
+        ready = self.membership.ready_ids()
+        return {
+            "status": "ok" if ready else "degraded",
+            "live": True,
+            "ready": bool(ready),
+            "role": "router",
+            "replication": self.replication,
+            "ready_nodes": len(ready),
+            "nodes": self.membership.snapshot(),
+            "uptime_seconds": round(self.slicer.uptime_seconds, 3),
+        }
+
+    # -- routing -------------------------------------------------------
+    async def _submit(self, body: bytes
+                      ) -> Tuple[int, Dict[str, object],
+                                 Dict[str, str]]:
+        # Parse at the edge: a malformed spec is a 400 here, never a
+        # wasted forward; a valid one yields the engine spec key the
+        # ring places.  The original body is forwarded verbatim so the
+        # node builds the byte-identical point.
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return 400, {"error": "request body is not valid JSON"}, {}
+        try:
+            request = parse_request(data)
+        except ProtocolError as error:
+            return 400, {"error": str(error)}, {}
+        key = request.key
+
+        future = self._inflight.get(key)
+        if future is not None:
+            # duplicate key in flight: ride the existing forward so
+            # replicas are never double-charged for one point
+            self.stats.inc("cluster.coalesced")
+            try:
+                return await asyncio.shield(future)
+            except ReplicasExhausted as error:
+                return self._exhausted_response(error)
+            except asyncio.CancelledError:
+                raise
+
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            response = await self._forward_with_retries(key, body)
+            future.set_result(response)
+            return response
+        except ReplicasExhausted as error:
+            future.set_exception(error)
+            return self._exhausted_response(error)
+        except BaseException as error:
+            future.set_exception(error)
+            raise
+        finally:
+            self._inflight.pop(key, None)
+            if future.done() and not future.cancelled():
+                future.exception()   # absorb if nobody coalesced
+
+    @staticmethod
+    def _exhausted_response(error: ReplicasExhausted
+                            ) -> Tuple[int, Dict[str, object],
+                                       Dict[str, str]]:
+        return 503, {"error": str(error),
+                     "retry_after": error.retry_after}, \
+            {"Retry-After": str(error.retry_after)}
+
+    def candidates(self, key: str) -> List[str]:
+        """Failover order for a key: ready home replicas, then ready
+        spillover nodes, then the unfiltered home set (a node may have
+        recovered since its last probe)."""
+        preference = self.ring.preference(key)
+        home = preference[:self.replication]
+        ready = [node_id for node_id in preference
+                 if self.membership.is_ready(node_id)]
+        ready_home = [n for n in ready if n in home]
+        spill = [n for n in ready if n not in home]
+        order = ready_home + spill
+        for node_id in home:
+            if node_id not in order:
+                order.append(node_id)
+        return order
+
+    async def _forward_with_retries(
+            self, key: str, body: bytes
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        attempts = 0
+        retry_after = 0
+        for round_number in range(1, self.retries + 2):
+            candidates = self.candidates(key)
+            in_home = set(self.ring.replicas(key, self.replication))
+            for node_id in candidates:
+                attempts += 1
+                if node_id not in in_home:
+                    self.stats.inc("cluster.spillover")
+                info = self.membership.node(node_id)
+                try:
+                    status, headers, payload = await request_json(
+                        info.host, info.port, "POST", "/v1/points",
+                        body, timeout=self.request_timeout)
+                except (OSError, asyncio.TimeoutError,
+                        ValueError) as error:
+                    self.stats.inc("cluster.forward.errors")
+                    self.membership.mark_failure(
+                        node_id, f"{type(error).__name__}: {error}")
+                    continue
+                if status == 200:
+                    self.stats.inc("cluster.forward.ok")
+                    self.membership.mark_success(node_id)
+                    payload = dict(payload)
+                    payload["node"] = node_id
+                    return 200, payload, {}
+                if status in _FAILOVER_STATUSES:
+                    self.stats.inc(f"cluster.forward.{status}")
+                    if status == 503:
+                        # shed: the node is alive but saturated or
+                        # draining — honor its own estimate
+                        hint = headers.get("retry-after")
+                        if hint and hint.isdigit():
+                            retry_after = max(retry_after, int(hint))
+                    continue
+                # deterministic rejection (400/404/405): final
+                self.stats.inc("cluster.forward.rejected")
+                return status, dict(payload), {}
+            if round_number <= self.retries:
+                self.stats.inc("cluster.retries")
+                delay = exponential_backoff(
+                    self.retry_backoff_seconds, round_number)
+                await asyncio.sleep(max(delay, retry_after))
+                retry_after = 0
+        raise ReplicasExhausted(key, attempts,
+                                retry_after=max(retry_after, 1))
+
+    # -- the merged cluster view ---------------------------------------
+    async def cluster_stats(self) -> Dict[str, object]:
+        """``/stats``: every reachable node's registry folded into one
+        via :meth:`Stats.merge` — ``cluster.counters`` sums the fleet,
+        ``nodes.<id>.*`` keeps the per-node split, and the cache block
+        aggregates hit/miss/eviction effectiveness."""
+        node_ids = self.membership.node_ids
+        results = await asyncio.gather(
+            *(self._fetch_stats(node_id) for node_id in node_ids))
+        totals = Stats()
+        by_node = Stats()
+        nodes: Dict[str, object] = {}
+        cache = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+                 "size_bytes": 0}
+        for node_id, payload in zip(node_ids, results):
+            if payload is None:
+                nodes[node_id] = {"reachable": False}
+                continue
+            counters = payload.get("counters", {})
+            flat = Stats.from_flat(counters if isinstance(counters, dict)
+                                   else {})
+            totals.merge(flat)
+            by_node.merge(flat, prefix=f"{node_id}.")
+            node_cache = payload.get("cache", {})
+            if isinstance(node_cache, dict):
+                for name in cache:
+                    value = node_cache.get(name, 0)
+                    if isinstance(value, (int, float)) \
+                            and not isinstance(value, bool):
+                        cache[name] += value
+            nodes[node_id] = {
+                "reachable": True,
+                "ready": self.membership.is_ready(node_id),
+                "draining": payload.get("draining"),
+                "queue_depth": payload.get("queue_depth"),
+                "inflight": payload.get("inflight"),
+                "uptime_seconds": payload.get("uptime_seconds"),
+                "cache": node_cache,
+            }
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_ratio"] = round(cache["hits"] / lookups, 6) \
+            if lookups else 0.0
+        return {
+            "role": "router",
+            "replication": self.replication,
+            "ready_nodes": len(self.membership.ready_ids()),
+            "inflight": len(self._inflight),
+            "router": {"counters": self.stats.dump(),
+                       "timeseries": self.slicer.series()},
+            "cluster": {"counters": totals.dump(), "cache": cache},
+            "nodes": nodes,
+            "counters_by_node": by_node.dump(),
+        }
+
+    async def _fetch_stats(self, node_id: str
+                           ) -> Optional[Dict[str, object]]:
+        info = self.membership.node(node_id)
+        try:
+            status, _headers, payload = await request_json(
+                info.host, info.port, "GET", "/stats",
+                timeout=self.membership.probe_timeout)
+        except (OSError, asyncio.TimeoutError, ValueError):
+            return None
+        return payload if status == 200 else None
+
+
+def run_router_in_thread(router: RouterService
+                         ) -> Tuple[threading.Thread, int]:
+    """Start a router on a daemon thread; returns ``(thread,
+    bound_port)`` once it is listening — same harness shape as
+    :func:`repro.serve.server.run_in_thread`."""
+    ready = threading.Event()
+    ports: List[int] = []
+    previous = router._ready_callback
+
+    def on_ready(port: int) -> None:
+        ports.append(port)
+        ready.set()
+        if previous is not None:
+            previous(port)
+
+    router._ready_callback = on_ready
+    thread = threading.Thread(
+        target=lambda: asyncio.run(router.run(install_signals=False)),
+        name="repro-cluster-router", daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("router failed to start within 30s")
+    return thread, ports[0]

@@ -248,6 +248,31 @@ class Stats:
         self.flush_suppressed()
         return self.as_dict()
 
+    #: suffixes :meth:`as_dict` derives from sample summaries that do
+    #: NOT add across registries (a mean of means is not a mean; min
+    #: and max would need the raw summaries).  ``.count`` entries *are*
+    #: additive and survive :meth:`from_flat`.
+    NON_ADDITIVE_SUFFIXES = (".mean", ".min", ".max")
+
+    @classmethod
+    def from_flat(cls, flat: Mapping[str, object]) -> "Stats":
+        """Rebuild a counters-only registry from a :meth:`dump` /
+        :meth:`as_dict` flat dict that crossed a process or wire
+        boundary (e.g. one node's ``/stats`` JSON), so the cluster
+        router can aggregate fleets with :meth:`merge`.  Sample-derived
+        ``.mean``/``.min``/``.max`` entries are dropped — they are not
+        additive — and non-numeric values are ignored."""
+        stats = cls()
+        for name, value in flat.items():
+            if not isinstance(name, str) \
+                    or name.endswith(cls.NON_ADDITIVE_SUFFIXES):
+                continue
+            if isinstance(value, bool) \
+                    or not isinstance(value, (int, float)):
+                continue
+            stats.inc(name, value)
+        return stats
+
     # -- aggregation ---------------------------------------------------
     def merge(self, other: "Stats", prefix: str = "") -> None:
         """Fold another registry into this one.

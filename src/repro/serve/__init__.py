@@ -29,7 +29,13 @@ from .client import ServeClient, ServeError
 from .pool import WorkerCrashed, WorkerFleet
 from .protocol import PointRequest, ProtocolError, parse_request
 from .scheduler import DeadlineExpired, Draining, QueueFull, Scheduler
-from .server import ServeService, run_in_thread, serve_forever
+from .server import (
+    ServeService,
+    read_http_request,
+    run_in_thread,
+    serve_forever,
+    write_http_response,
+)
 
 __all__ = [
     "DeadlineExpired",
@@ -44,6 +50,8 @@ __all__ = [
     "WorkerCrashed",
     "WorkerFleet",
     "parse_request",
+    "read_http_request",
     "run_in_thread",
     "serve_forever",
+    "write_http_response",
 ]

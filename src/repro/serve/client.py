@@ -1,26 +1,36 @@
 """Small synchronous client for the simulation service.
 
-Used by ``repro submit``, the test suite, and the CI smoke job; plain
-:mod:`http.client`, one connection per call, no dependencies.  Every
-non-200 answer raises :class:`ServeError` carrying the HTTP status,
-the decoded error payload, and (for 503 load sheds) the server's
-``Retry-After`` hint, so callers can implement their own backoff::
+Used by ``repro submit``, the cluster chaos harness, the test suite,
+and the CI smoke jobs; plain :mod:`http.client`, one connection per
+call, no dependencies.  Every non-200 answer raises
+:class:`ServeError` carrying the HTTP status, the decoded error
+payload, and (for 503 load sheds) the server's ``Retry-After`` hint.
+
+Retry discipline is built in: ``submit(..., retries=N)`` re-submits
+through load sheds (503) and connection failures with the repo's one
+shared backoff curve (:func:`repro.faults.exponential_backoff`),
+waiting at least the server's ``Retry-After`` when one was given::
 
     client = ServeClient(port=7341)
-    try:
-        response = client.submit({"workload": "sps", "scheme": "txcache",
-                                  "operations": 50,
-                                  "config": {"num_cores": 1}})
-    except ServeError as error:
-        if error.retry_after:          # shed — come back later
-            time.sleep(error.retry_after)
+    response = client.submit({"workload": "sps", "scheme": "txcache",
+                              "operations": 50,
+                              "config": {"num_cores": 1}},
+                             retries=4)
+
+Re-submitting is safe because points are idempotent by construction —
+the request *is* its content-hashed spec, so a duplicate lands on the
+server's coalescer or its cache, never on a second computation.
+Deterministic rejections (400/404) are never retried.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Dict, Optional, Tuple
+
+from ..faults import exponential_backoff
 
 
 class ServeError(RuntimeError):
@@ -86,7 +96,36 @@ class ServeClient:
     def stats(self) -> Dict[str, object]:
         return self._checked("GET", "/stats")
 
-    def submit(self, request: Dict[str, object]) -> Dict[str, object]:
+    def submit(self, request: Dict[str, object], retries: int = 0,
+               retry_backoff_seconds: float = 0.25
+               ) -> Dict[str, object]:
         """Submit one point spec; returns the full 200 response
-        (``key``/``kind``/``cached``/``seconds``/``payload``)."""
-        return self._checked("POST", "/v1/points", body=request)
+        (``key``/``kind``/``cached``/``seconds``/``payload``).
+
+        With ``retries=N``, a 503 shed or a connection failure is
+        retried up to N times, sleeping
+        ``max(exponential_backoff(retry_backoff_seconds, attempt),
+        Retry-After)`` between attempts; the last failure propagates.
+        Other statuses (400 bad spec, 500 crashed point, 504 deadline)
+        are deterministic for the same request and raise immediately.
+        """
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._checked("POST", "/v1/points", body=request)
+            except ServeError as error:
+                if error.status != 503 or attempt > retries:
+                    raise
+                delay = exponential_backoff(retry_backoff_seconds,
+                                            attempt)
+                if error.retry_after is not None:
+                    delay = max(delay, error.retry_after)
+            except OSError:
+                if attempt > retries:
+                    raise
+                delay = exponential_backoff(retry_backoff_seconds,
+                                            attempt)
+            time.sleep(delay)

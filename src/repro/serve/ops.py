@@ -64,8 +64,21 @@ class TimeSlicer:
 
 
 def healthz_payload(service) -> Dict[str, object]:
+    """Liveness *and* readiness in one probe.
+
+    ``live`` is unconditional — answering at all proves the event loop
+    is turning.  ``ready`` means "send me new work": a draining node
+    (SIGTERM received, scheduler finishing its in-flight points) is
+    still live but *not* ready, which is what tells the cluster router
+    to fail its keys over to the next replica instead of feeding a
+    dying node.
+    """
+    draining = service.scheduler.draining
     return {
-        "status": "draining" if service.scheduler.draining else "ok",
+        "status": "draining" if draining else "ok",
+        "live": True,
+        "ready": not draining,
+        "node": service.node_id,
         "uptime_seconds": round(service.slicer.uptime_seconds, 3),
     }
 
@@ -88,7 +101,15 @@ def stats_payload(service) -> Dict[str, object]:
         cache["entries"] = len(scheduler.cache)
         cache["size_bytes"] = scheduler.cache.size_bytes()
         cache["max_bytes"] = scheduler.cache.max_bytes
+        # the store's own view: lookups it served (hits/misses of
+        # every get(), scheduler or engine) and entries evicted by
+        # the size cap — per-node cache effectiveness for the
+        # cluster's merged /stats
+        cache["store_hits"] = scheduler.cache.hits
+        cache["store_misses"] = scheduler.cache.misses
+        cache["evictions"] = scheduler.cache.evictions
     return {
+        "node": service.node_id,
         "uptime_seconds": round(service.slicer.uptime_seconds, 3),
         "draining": scheduler.draining,
         "queue_depth": scheduler.queue_depth,

@@ -44,10 +44,52 @@ from .scheduler import DeadlineExpired, Draining, QueueFull, Scheduler
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 500: "Internal Server Error",
-            503: "Service Unavailable", 504: "Gateway Timeout"}
+            502: "Bad Gateway", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
 
 #: request body ceiling — a point spec is small; anything bigger is abuse
 MAX_BODY_BYTES = 1 << 20
+
+
+async def read_http_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request into ``(method, target, headers,
+    body)``; ``None`` at EOF.  Shared by the serve front-end and the
+    cluster router, which speak the same minimal dialect."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise ValueError("malformed request line")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
+    if not 0 <= length <= MAX_BODY_BYTES:
+        raise ValueError("unreasonable content-length")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+async def write_http_response(writer: asyncio.StreamWriter, status: int,
+                              payload: Dict[str, object],
+                              extra: Dict[str, str],
+                              keep_alive: bool) -> None:
+    """Serialize one JSON response (shared with the cluster router)."""
+    blob = json.dumps(payload).encode("utf-8")
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+             "Content-Type: application/json",
+             f"Content-Length: {len(blob)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    lines.extend(f"{name}: {value}" for name, value in extra.items())
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                 + blob)
+    await writer.drain()
 
 
 class ServeService:
@@ -59,10 +101,12 @@ class ServeService:
                  cache_max_bytes: Optional[int] = None,
                  default_deadline: Optional[float] = None,
                  epoch_ms: int = 1000,
+                 node_id: Optional[str] = None,
                  ready_callback=None) -> None:
         self.host = host
         self.port = port          # requested; 0 = ephemeral
         self.bound_port: Optional[int] = None
+        self.node_id = node_id    # cluster identity; None = standalone
         self.default_deadline = default_deadline
         self.stats = Stats()
         self.fleet = WorkerFleet(jobs=jobs, stats=self.stats)
@@ -143,7 +187,7 @@ class ServeService:
         self._connections[task] = writer
         try:
             while True:
-                request = await self._read_request(reader)
+                request = await read_http_request(reader)
                 if request is None:
                     break
                 method, target, headers, body = request
@@ -172,41 +216,11 @@ class ServeService:
             except (ConnectionError, OSError):
                 pass
 
-    @staticmethod
-    async def _read_request(reader: asyncio.StreamReader):
-        """Parse one HTTP/1.1 request; None at EOF."""
-        request_line = await reader.readline()
-        if not request_line:
-            return None
-        parts = request_line.decode("latin-1").split()
-        if len(parts) != 3:
-            raise ValueError("malformed request line")
-        method, target, _version = parts
-        headers: Dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", 0))
-        if not 0 <= length <= MAX_BODY_BYTES:
-            raise ValueError("unreasonable content-length")
-        body = await reader.readexactly(length) if length else b""
-        return method, target, headers, body
-
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
                        payload: Dict[str, object],
                        extra: Dict[str, str], keep_alive: bool) -> None:
-        blob = json.dumps(payload).encode("utf-8")
-        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                 "Content-Type: application/json",
-                 f"Content-Length: {len(blob)}",
-                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
-        lines.extend(f"{name}: {value}" for name, value in extra.items())
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-                     + blob)
-        await writer.drain()
+        await write_http_response(writer, status, payload, extra,
+                                  keep_alive)
 
     async def _dispatch(self, method: str, target: str, body: bytes
                         ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
@@ -264,6 +278,7 @@ def serve_forever(host: str = "127.0.0.1", port: int = 7341,
                   jobs: int = 2, cache_dir=None, max_queue: int = 64,
                   max_inflight: Optional[int] = None,
                   cache_max_bytes: Optional[int] = None,
+                  node_id: Optional[str] = None,
                   announce=None) -> int:
     """Blocking entry point for ``repro serve``: build a service, run
     it until SIGTERM/SIGINT, drain, and return 0."""
@@ -275,6 +290,7 @@ def serve_forever(host: str = "127.0.0.1", port: int = 7341,
                            cache_dir=cache_dir, max_queue=max_queue,
                            max_inflight=max_inflight,
                            cache_max_bytes=cache_max_bytes,
+                           node_id=node_id,
                            ready_callback=ready)
     asyncio.run(service.run())
     return 0

@@ -354,20 +354,38 @@ class ResultCache:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
+        # this instance's lookup/eviction activity (the on-disk store
+        # may be shared; these count what *this* handle observed) —
+        # surfaced per node in /stats so cluster-level cache
+        # effectiveness is observable
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def path(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
+
+    def counters(self) -> Dict[str, int]:
+        """This handle's hit/miss/eviction counts."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
         try:
             with open(self.path(key)) as fp:
                 entry = json.load(fp)
         except (OSError, ValueError):
+            self.misses += 1
             return None
         if not isinstance(entry, dict) or "payload" not in entry:
+            self.misses += 1
             return None
         payload = entry["payload"]
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
 
     def put(self, key: str, spec: Dict[str, object],
             payload: Dict[str, object]) -> None:
@@ -381,7 +399,7 @@ class ResultCache:
             {"key": key, "spec": spec, "payload": payload}))
         os.replace(tmp, path)
         if self.max_bytes is not None:
-            self._evict(keep=path.name)
+            self.evictions += self._evict(keep=path.name)
 
     def size_bytes(self) -> int:
         """Total size of all cache entries (tmp files excluded)."""

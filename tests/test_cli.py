@@ -219,3 +219,26 @@ class TestSubmit:
         assert main(["submit", "sps", "txcache",
                      "--port", "1", "--timeout", "2"]) == 1
         assert "connection failed" in capsys.readouterr().err
+
+
+class TestClusterCommand:
+    def test_mode_is_required_and_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "explode"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["cluster", "chaos"])
+        assert args.cluster_mode == "chaos"
+        assert args.nodes == 3
+        assert args.replication == 2
+        assert args.seed == 0
+        assert args.hangs is False
+
+    def test_bad_topologies_are_usage_errors(self, capsys):
+        assert main(["cluster", "chaos", "--nodes", "0"]) == 2
+        assert "--nodes" in capsys.readouterr().err
+        assert main(["cluster", "chaos", "--nodes", "2",
+                     "--replication", "5"]) == 2
+        assert "--replication" in capsys.readouterr().err

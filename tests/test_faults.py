@@ -280,3 +280,55 @@ class TestSystemUnderFaults:
         stats = system.stats
         assert stats.counter("tc.0.ecc.degraded") == 1
         assert stats.counter("scheme.txcache.degraded_fallbacks") > 0
+
+
+# ---------------------------------------------------------------------------
+# the one shared backoff curve, property-tested
+# ---------------------------------------------------------------------------
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults import exponential_backoff
+
+_BASES = st.floats(min_value=1e-6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestExponentialBackoffProperties:
+    """exponential_backoff is the retry discipline shared by NVM
+    write-verify-retry, the serve worker pool, the serve client, and
+    the cluster router — so its shape is pinned by properties, not
+    just spot values."""
+
+    @given(base=_BASES, attempt=st.integers(min_value=1, max_value=200),
+           max_doublings=st.integers(min_value=0, max_value=40))
+    def test_monotone_nondecreasing_in_attempt(self, base, attempt,
+                                               max_doublings):
+        here = exponential_backoff(base, attempt,
+                                   max_doublings=max_doublings)
+        next_one = exponential_backoff(base, attempt + 1,
+                                       max_doublings=max_doublings)
+        assert next_one >= here
+
+    @given(base=_BASES, attempt=st.integers(min_value=1, max_value=500),
+           max_doublings=st.integers(min_value=0, max_value=40))
+    def test_capped_at_max_doublings(self, base, attempt,
+                                     max_doublings):
+        ceiling = base * 2 ** max_doublings
+        value = exponential_backoff(base, attempt,
+                                    max_doublings=max_doublings)
+        assert value <= ceiling
+        if attempt > max_doublings:          # cap actually binds
+            assert value == ceiling
+
+    @given(base=_BASES)
+    def test_exact_values_for_first_three_attempts(self, base):
+        assert exponential_backoff(base, 1) == base
+        assert exponential_backoff(base, 2) == base * 2
+        assert exponential_backoff(base, 3) == base * 4
+
+    @given(base=_BASES, attempt=st.integers(min_value=1, max_value=200))
+    def test_positive_and_scales_linearly_with_base(self, base, attempt):
+        value = exponential_backoff(base, attempt)
+        assert value > 0
+        assert value == base * exponential_backoff(1.0, attempt)

@@ -340,3 +340,49 @@ def test_property_cache_hits_never_change_a_report(grid, tmp_path_factory):
     assert warm_engine.stats.counter("engine.cache.hits") == unique
     assert warm_engine.stats.counter("engine.executed") == 0
     assert result_dicts(cold) == result_dicts(warm)
+
+
+class TestResultCacheCounters:
+    """hit/miss/eviction counters feed the serve /stats endpoint and
+    the cluster's merged cache-effectiveness view."""
+
+    def test_fresh_cache_counts_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.counters() == {"hits": 0, "misses": 0,
+                                    "evictions": 0}
+
+    def test_misses_then_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("nope") is None
+        cache.put("k", {}, {"cycles": 1})
+        assert cache.get("k") == {"cycles": 1}
+        assert cache.get("k") == {"cycles": 1}
+        assert cache.counters() == {"hits": 2, "misses": 1,
+                                    "evictions": 0}
+
+    def test_corrupt_entries_count_as_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path("bad").write_text("{not json")
+        cache.path("shape").write_text(json.dumps(["wrong"]))
+        assert cache.get("bad") is None
+        assert cache.get("shape") is None
+        assert cache.counters()["misses"] == 2
+
+    def test_evictions_counted_by_the_evicting_instance(self, tmp_path):
+        import os as _os
+
+        filler = ResultCache(tmp_path)
+        for index, key in enumerate(("old", "mid", "new")):
+            filler.put(key, {}, {"pad": "x" * 200})
+            _os.utime(filler.path(key), (100 + index, 100 + index))
+        entry_size = filler.path("old").stat().st_size
+        capped = ResultCache(tmp_path, max_bytes=entry_size * 2 + 10)
+        capped.put("now", {}, {"pad": "x" * 200})
+        assert capped.counters()["evictions"] == 2
+        assert filler.counters()["evictions"] == 0   # not its doing
+
+    def test_uncapped_cache_never_counts_evictions(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(5):
+            cache.put(f"k{index}", {}, {"pad": "x" * 200})
+        assert cache.counters()["evictions"] == 0

@@ -234,3 +234,39 @@ class TestMerge:
         # carries over on top of whatever a had to suppress
         assert a.suppressed("oops") == 2
         assert a.counter("oops") == Stats.MAX_EVENTS_PER_NAME + 2
+
+
+class TestFromFlat:
+    """from_flat rebuilds a counters-only registry from a wire-format
+    dump() — the cluster router's way of merging remote /stats."""
+
+    def test_round_trips_counters_through_dump(self):
+        stats = Stats()
+        stats.inc("serve.executed", 3)
+        stats.inc("serve.http.200", 9)
+        rebuilt = Stats.from_flat(stats.dump())
+        assert rebuilt.counter("serve.executed") == 3
+        assert rebuilt.counter("serve.http.200") == 9
+
+    def test_sample_expansions_keep_count_drop_moments(self):
+        stats = Stats()
+        for value in (10, 20, 30):
+            stats.sample("lat", value)
+        rebuilt = Stats.from_flat(stats.dump())
+        dump = rebuilt.dump()
+        assert dump.get("lat.count") == 3
+        assert not any(name.endswith((".mean", ".min", ".max"))
+                       for name in dump)
+
+    def test_non_numeric_and_bool_values_skipped(self):
+        rebuilt = Stats.from_flat({"flag": True, "label": "x",
+                                   "n": 2, 3: 4, "none": None})
+        assert rebuilt.dump() == {"n": 2}
+
+    def test_from_flat_results_merge_additively(self):
+        total = Stats()
+        total.merge(Stats.from_flat({"serve.executed": 2}))
+        total.merge(Stats.from_flat({"serve.executed": 5}),
+                    prefix="node1.")
+        assert total.counter("serve.executed") == 2
+        assert total.counter("node1.serve.executed") == 5
