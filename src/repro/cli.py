@@ -13,6 +13,13 @@ Commands
 ``chaos``    crash injection × fault injection (imperfect NVM, lossy
              acks, TC bit errors) swept over workloads, schemes, and
              crash fractions, checked against the atomicity oracle.
+``litmus``   persistency-model litmus engine: run a generated suite
+             of small multi-core programs under each persistence
+             scheme, crash at every cycle, and check each recovered
+             NVM image against the program's legal persist set.
+             ``--chaos`` adds a fault-composed subset;
+             ``--minimize`` delta-debugs any violation down to a
+             minimal counterexample (see docs/litmus.md).
 ``trace``    without ``--scheme``: generate a workload trace, print
              its statistics, and optionally dump it to a file.  With
              ``--scheme``: simulate the workload under that scheme
@@ -71,6 +78,10 @@ from .sim.sweep import llc_size_sweep, nvm_write_latency_sweep, tc_size_sweep
 from .workloads import PAPER_WORKLOADS, WORKLOADS, create_workload
 
 SCHEME_CHOICES = [scheme.value for scheme in SchemeName]
+
+#: litmus sweeps persistence schemes (optimal promises nothing, so
+#: checking it is meaningless) plus the intentionally broken reference
+LITMUS_SCHEME_CHOICES = ["sp", "kiln", "txcache", "broken_commit"]
 
 
 def package_version() -> str:
@@ -221,6 +232,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash points as fractions of the fault-free run")
     _add_engine_args(chaos_parser)
     _add_obs_args(chaos_parser)
+
+    litmus_parser = sub.add_parser(
+        "litmus",
+        help="crash-interleaving litmus suite checked against the "
+             "legal persist set")
+    litmus_parser.add_argument("--programs", type=int, default=20,
+                               help="suite size: the classic shapes "
+                                    "plus seeded random programs "
+                                    "(default 20)")
+    litmus_parser.add_argument("--seed", type=int, default=0,
+                               help="suite generation seed")
+    litmus_parser.add_argument("--cores", type=int, default=2,
+                               help="cores per random program "
+                                    "(default 2)")
+    litmus_parser.add_argument(
+        "--schemes", nargs="+", choices=LITMUS_SCHEME_CHOICES,
+        default=["sp", "kiln", "txcache"],
+        help="schemes to sweep (broken_commit is the intentionally "
+             "buggy reference scheme; it should fail)")
+    litmus_parser.add_argument("--check-every", type=int, default=1,
+                               help="crash-check stride in cycles "
+                                    "(default 1 = every cycle)")
+    litmus_parser.add_argument("--chaos", action="store_true",
+                               help="also run a fault-composed subset "
+                                    "(imperfect NVM writes, lost acks, "
+                                    "TC bit flips)")
+    litmus_parser.add_argument("--fault-seed", type=int, default=0)
+    litmus_parser.add_argument("--minimize", action="store_true",
+                               help="delta-debug each violating "
+                                    "(program, scheme) pair to a "
+                                    "minimal counterexample")
+    litmus_parser.add_argument("--json", action="store_true",
+                               help="emit machine-readable JSON")
+    _add_engine_args(litmus_parser)
 
     trace_parser = sub.add_parser(
         "trace",
@@ -556,6 +601,78 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_litmus(args) -> int:
+    from .common.config import FaultConfig
+    from .litmus import default_suite, minimize_violation, run_litmus_matrix
+
+    try:
+        programs = default_suite(args.seed, count=args.programs,
+                                 cores=args.cores)
+    except ValueError as error:
+        print(f"repro litmus: error: {error}", file=sys.stderr)
+        return 2
+    engine = _engine_from_args(args)
+    report = run_litmus_matrix(programs, args.schemes,
+                               check_every=args.check_every,
+                               engine=engine)
+    reports = {"matrix": report}
+    if args.chaos:
+        fault_config = FaultConfig(seed=args.fault_seed,
+                                   nvm_write_fail_rate=1e-3,
+                                   ack_loss_rate=1e-3,
+                                   tc_bit_flip_rate=1e-4)
+        subset = programs[:min(5, len(programs))]
+        reports["chaos"] = run_litmus_matrix(
+            subset, args.schemes, fault_config=fault_config,
+            check_every=args.check_every, engine=engine)
+    print(engine.summary(), file=sys.stderr)
+
+    by_name = {program.name: program for program in programs}
+    violating_pairs = []
+    for label, matrix in reports.items():
+        for result in matrix.results:
+            if not result.consistent and label == "matrix":
+                violating_pairs.append(
+                    (by_name[result.program], result.scheme))
+
+    if args.json:
+        payload = {label: [r.to_dict() for r in matrix.results]
+                   for label, matrix in reports.items()}
+    for label, matrix in reports.items():
+        if args.json:
+            continue
+        if label == "chaos":
+            print()
+            print("fault-composed subset:")
+        print(matrix.format())
+
+    minimized = {}
+    if args.minimize:
+        for program, scheme in violating_pairs:
+            small = minimize_violation(program, scheme,
+                                       check_every=args.check_every)
+            minimized[(program.name, scheme)] = small
+            if not args.json:
+                print()
+                print(f"minimized {program.name}/{scheme} "
+                      f"to {small.op_count} ops:")
+                print(small.format())
+    if args.json:
+        payload["minimized"] = {
+            f"{name}/{scheme}": small.to_dict()
+            for (name, scheme), small in minimized.items()}
+        print(json.dumps(payload, indent=2))
+
+    failures = sum(not result.consistent
+                   for matrix in reports.values()
+                   for result in matrix.results)
+    if failures:
+        print(f"{failures} litmus runs violated the legal persist set!",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_trace(args) -> int:
     workload_name = args.workload_opt or args.workload
     if workload_name is None:
@@ -784,6 +901,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "crash": cmd_crash,
     "chaos": cmd_chaos,
+    "litmus": cmd_litmus,
     "trace": cmd_trace,
     "serve": cmd_serve,
     "submit": cmd_submit,

@@ -1,0 +1,73 @@
+"""A deliberately broken persistence scheme: commit-before-flush.
+
+The litmus matrix is only trustworthy if it can *fail*: this scheme
+declares a transaction durably committed the moment its TX_END
+retires, while doing nothing to push the transaction's writes out of
+the volatile hierarchy (recovery sees the raw NVM home image, exactly
+like the Optimal baseline).  Any crash between a commit claim and the
+eventual (eviction-driven, unordered) write-backs exposes a torn
+transaction — the paper's Fig. 2(a) failure, but with a recovery model
+that *claims* atomicity.  The litmus runner must flag it, and the
+minimizer must shrink the counterexample to a single store in a single
+transaction.
+
+Registered under the plain string name ``broken_commit`` (kept out of
+the :class:`~repro.common.types.SchemeName` enum so no production
+surface ever sweeps it by accident).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..common.types import Version, is_home_line
+from ..persistence import register_scheme
+from ..persistence.base import PersistenceScheme, Resume
+
+BROKEN_COMMIT = "broken_commit"
+
+
+@dataclass(frozen=True)
+class _SchemeTag:
+    """Duck-types SchemeName for stats scoping (`.value`) without
+    claiming a slot in the paper's enum."""
+
+    value: str
+
+
+class CommitBeforeFlushScheme(PersistenceScheme):
+    """Claims commit at TX_END retire; never flushes anything."""
+
+    name = _SchemeTag(BROKEN_COMMIT)
+
+    def __init__(self, sim, config, stats, hierarchy, memory,
+                 tracer=None) -> None:
+        from ..obs.tracer import NULL_TRACER
+        super().__init__(sim, config, stats, hierarchy, memory,
+                         tracer=tracer if tracer is not None
+                         else NULL_TRACER)
+        self._commit_cycle: Dict[int, int] = {}
+
+    def tx_end(self, core, op, resume: Resume) -> None:
+        # the bug: durability claimed with the writes still volatile
+        self.committed_tx.add(op.tx_id)
+        self._commit_cycle[op.tx_id] = self.sim.now
+        resume()
+
+    def durably_committed(self, crash_cycle: int) -> set:
+        return {tx for tx, cycle in self._commit_cycle.items()
+                if cycle <= crash_cycle}
+
+    def durable_lines(self, crash_cycle: int) -> Dict[int, Optional[Version]]:
+        # no recovery story at all: whatever write-backs happened to
+        # reach the NVM home region before the crash
+        return {
+            line: version
+            for line, version in
+            self.memory.durable_state_at(crash_cycle).items()
+            if is_home_line(line)
+        }
+
+
+register_scheme(BROKEN_COMMIT, CommitBeforeFlushScheme)

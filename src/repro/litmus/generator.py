@@ -1,0 +1,148 @@
+"""Seeded litmus-program generator.
+
+Two sources of programs:
+
+* **Classic shapes** — the named tests the persistency literature
+  argues about: message passing (flag after data), store buffering
+  (cross conflicts through fences), overlapping transactions on shared
+  lines, same-line counters, and a private multi-tx chain.
+* **Random programs** — seeded, bounded interleavings of
+  STORE/FENCE/TX_BEGIN/TX_END over a small pool of shared-conflict and
+  core-private lines.
+
+Everything is a pure function of its arguments: the same seed yields
+a byte-identical program (the determinism property in
+``tests/test_litmus_properties.py`` holds this as a contract, since
+program bytes feed the engine's cache keys).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .program import FENCE, STORE, TX_BEGIN, TX_END, LitmusOp, LitmusProgram
+
+#: line-index layout: shared conflict lines first, then per-core
+#: private banks of this size
+_PRIVATE_BANK = 16
+
+
+def _private_line(core: int, offset: int) -> int:
+    return 8 + core * _PRIVATE_BANK + offset
+
+
+def _tx_id(core: int, number: int) -> int:
+    """Globally unique, per-core increasing transaction ids."""
+    return core * 64 + number + 1
+
+
+def _tx(core: int, number: int, lines: List[int],
+        fences_after: Optional[List[int]] = None) -> List[LitmusOp]:
+    ops = [LitmusOp(TX_BEGIN, tx=_tx_id(core, number))]
+    for index, line in enumerate(lines):
+        ops.append(LitmusOp(STORE, line=line))
+        if fences_after and index in fences_after:
+            ops.append(LitmusOp(FENCE))
+    ops.append(LitmusOp(TX_END))
+    return ops
+
+
+def message_passing() -> LitmusProgram:
+    """Data then flag in separate txs on core 0; a reader-side core
+    writes privately.  Write-order control demands the flag tx is
+    never durable without the data tx."""
+    return LitmusProgram.build("mp", [
+        _tx(0, 0, [0]) + _tx(0, 1, [1]),
+        _tx(1, 0, [_private_line(1, 0)]),
+    ])
+
+
+def store_buffering() -> LitmusProgram:
+    """Each core writes the other's line first, fenced, then its own —
+    both shared lines are cross-core conflicts."""
+    return LitmusProgram.build("sb", [
+        _tx(0, 0, [0]) + [LitmusOp(FENCE)] + _tx(0, 1, [1]),
+        _tx(1, 0, [1]) + [LitmusOp(FENCE)] + _tx(1, 1, [0]),
+    ])
+
+
+def overlapping_tx() -> LitmusProgram:
+    """Two transactions writing the same two shared lines in opposite
+    orders — the canonical multi-valued persist set."""
+    return LitmusProgram.build("overlap", [
+        _tx(0, 0, [0, 1], fences_after=[0]),
+        _tx(1, 0, [1, 0], fences_after=[0]),
+    ])
+
+
+def shared_counter() -> LitmusProgram:
+    """Both cores repeatedly commit to one shared line."""
+    return LitmusProgram.build("counter", [
+        _tx(0, 0, [0]) + _tx(0, 1, [0]),
+        _tx(1, 0, [0]) + _tx(1, 1, [0]),
+    ])
+
+
+def private_chain() -> LitmusProgram:
+    """Three dependent txs per core over private lines — the
+    single-threaded write-order shape of paper §2."""
+    return LitmusProgram.build("chain", [
+        _tx(0, 0, [_private_line(0, 0)])
+        + _tx(0, 1, [_private_line(0, 0), _private_line(0, 1)])
+        + _tx(0, 2, [_private_line(0, 1)]),
+        _tx(1, 0, [_private_line(1, 0)])
+        + _tx(1, 1, [_private_line(1, 0), _private_line(1, 1)])
+        + _tx(1, 2, [_private_line(1, 1)]),
+    ])
+
+
+CLASSIC_SHAPES = (message_passing, store_buffering, overlapping_tx,
+                  shared_counter, private_chain)
+
+
+def random_program(seed: int,
+                   *,
+                   cores: int = 2,
+                   max_txs: int = 3,
+                   max_stores: int = 3,
+                   shared_lines: int = 2,
+                   private_lines: int = 2,
+                   fence_probability: float = 0.3,
+                   name: Optional[str] = None) -> LitmusProgram:
+    """A seeded random program with bounded op counts.
+
+    Each core runs 1..max_txs transactions of 1..max_stores stores;
+    every store picks a shared conflict line or a core-private line
+    with equal weight, and fences are sprinkled between stores.
+    """
+    rng = random.Random(seed)
+    cores_ops: List[List[LitmusOp]] = []
+    for core in range(cores):
+        ops: List[LitmusOp] = []
+        for tx_number in range(rng.randint(1, max_txs)):
+            ops.append(LitmusOp(TX_BEGIN, tx=_tx_id(core, tx_number)))
+            for _ in range(rng.randint(1, max_stores)):
+                if rng.random() < 0.5:
+                    line = rng.randrange(shared_lines)
+                else:
+                    line = _private_line(core,
+                                         rng.randrange(private_lines))
+                ops.append(LitmusOp(STORE, line=line))
+                if rng.random() < fence_probability:
+                    ops.append(LitmusOp(FENCE))
+            ops.append(LitmusOp(TX_END))
+        cores_ops.append(ops)
+    return LitmusProgram.build(name or f"rand{seed}", cores_ops)
+
+
+def default_suite(seed: int = 0, count: int = 20,
+                  *, cores: int = 2) -> List[LitmusProgram]:
+    """The default litmus matrix: every classic shape plus seeded
+    random programs up to ``count`` total."""
+    programs = [shape() for shape in CLASSIC_SHAPES]
+    for index in range(max(0, count - len(programs))):
+        programs.append(random_program(seed * 100003 + index,
+                                       cores=cores,
+                                       name=f"rand{seed}.{index}"))
+    return programs[:count]

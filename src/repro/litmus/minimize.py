@@ -1,0 +1,117 @@
+"""Counterexample minimization: delta-debugging over litmus ops.
+
+When the runner finds a violation, the raw program is rarely the
+story — the broken behavior usually needs one store and one commit.
+:func:`minimize_program` greedily shrinks a failing program to a local
+minimum by structured reduction passes, largest cuts first:
+
+1. drop a whole core,
+2. drop a whole transaction (its TX_BEGIN..TX_END span),
+3. drop a single store or fence.
+
+Every candidate is validated (the grammar keeps TX brackets paired by
+construction of the cuts) and re-run under the failure predicate; a
+cut is kept only if the candidate still fails.  The passes repeat to a
+fixpoint, so the result is 1-minimal with respect to these cuts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Union
+
+from ..common.config import FaultConfig, MachineConfig
+from ..common.types import SchemeName
+from .program import FENCE, STORE, TX_BEGIN, TX_END, LitmusOp, LitmusProgram
+
+
+def _tx_spans(ops) -> List[range]:
+    spans: List[range] = []
+    start = None
+    for index, op in enumerate(ops):
+        if op.kind == TX_BEGIN:
+            start = index
+        elif op.kind == TX_END and start is not None:
+            spans.append(range(start, index + 1))
+            start = None
+    return spans
+
+
+def _rebuild(program: LitmusProgram,
+             cores: List[List[LitmusOp]]) -> LitmusProgram:
+    return LitmusProgram.build(program.name, cores)
+
+
+def reduction_candidates(
+        program: LitmusProgram) -> Iterator[LitmusProgram]:
+    """Strictly smaller well-formed variants, largest cuts first."""
+    cores = [list(ops) for ops in program.cores]
+    if len(cores) > 1:
+        for drop in range(len(cores)):
+            yield _rebuild(program,
+                           cores[:drop] + cores[drop + 1:])
+    for core_index, ops in enumerate(cores):
+        for span in _tx_spans(ops):
+            reduced = [op for index, op in enumerate(ops)
+                       if index not in span]
+            yield _rebuild(
+                program,
+                cores[:core_index] + [reduced] + cores[core_index + 1:])
+    for core_index, ops in enumerate(cores):
+        for index, op in enumerate(ops):
+            if op.kind in (STORE, FENCE):
+                reduced = ops[:index] + ops[index + 1:]
+                yield _rebuild(
+                    program,
+                    cores[:core_index] + [reduced]
+                    + cores[core_index + 1:])
+
+
+def minimize_program(
+    program: LitmusProgram,
+    is_failing: Callable[[LitmusProgram], bool],
+) -> LitmusProgram:
+    """Shrink ``program`` while ``is_failing`` stays true.
+
+    ``program`` itself must fail; raises ValueError otherwise (a
+    minimizer fed a passing input would silently return garbage).
+    """
+    if not is_failing(program):
+        raise ValueError(
+            f"{program.name}: minimization requires a failing program")
+    current = program
+    improved = True
+    while improved:
+        improved = False
+        for candidate in reduction_candidates(current):
+            if candidate.op_count >= current.op_count:
+                continue
+            if is_failing(candidate):
+                current = candidate
+                improved = True
+                break
+    if current is program:
+        return program
+    return LitmusProgram.build(f"{program.name}+min",
+                               [list(ops) for ops in current.cores])
+
+
+def minimize_violation(
+    program: LitmusProgram,
+    scheme: Union[str, SchemeName],
+    *,
+    config: Optional[MachineConfig] = None,
+    fault_config: Optional[FaultConfig] = None,
+    check_every: int = 1,
+) -> LitmusProgram:
+    """Minimize against 'this scheme violates somewhere in the
+    every-cycle sweep' — the predicate the runner's report implies."""
+    from .runner import run_litmus
+
+    def is_failing(candidate: LitmusProgram) -> bool:
+        result = run_litmus(candidate, scheme, config=config,
+                            fault_config=fault_config,
+                            check_every=check_every,
+                            max_violation_records=1)
+        return not result.consistent
+
+    return minimize_program(program, is_failing)

@@ -1,6 +1,13 @@
-"""The four persistence mechanisms compared in the paper (§5.1)."""
+"""The four persistence mechanisms compared in the paper (§5.1).
 
-from typing import Union
+Beyond the paper's four, extra schemes (deliberately broken validator
+targets, experimental prototypes) can be registered by plain string
+name via :func:`register_scheme`; :func:`create_scheme` consults that
+registry before the :class:`~repro.common.types.SchemeName` enum, so
+registered names work everywhere a scheme name string is accepted.
+"""
+
+from typing import Dict, Type, Union
 
 from ..common.types import SchemeName
 from .base import OptimalScheme, PersistenceScheme
@@ -14,6 +21,28 @@ _SCHEMES = {
     SchemeName.KILN: KilnScheme,
     SchemeName.TXCACHE: TxCacheScheme,
 }
+
+#: string-named schemes outside the paper's enum (see register_scheme)
+EXTRA_SCHEMES: Dict[str, Type[PersistenceScheme]] = {}
+
+
+def register_scheme(name: str, cls: Type[PersistenceScheme]) -> None:
+    """Register a scheme class under a plain string name.
+
+    Re-registering the same class under the same name is a no-op;
+    claiming an enum name or re-binding an existing name is an error.
+    """
+    try:
+        SchemeName.parse(name)
+    except (KeyError, ValueError):
+        pass
+    else:
+        raise ValueError(f"scheme name {name!r} is reserved by SchemeName")
+    existing = EXTRA_SCHEMES.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"scheme name {name!r} already registered "
+                         f"to {existing.__name__}")
+    EXTRA_SCHEMES[name] = cls
 
 
 def create_scheme(
@@ -29,16 +58,21 @@ def create_scheme(
     and memory-system hooks (and the observability tracer, if any)."""
     from ..obs.tracer import NULL_TRACER
 
-    cls = _SCHEMES[SchemeName.parse(name)]
+    if isinstance(name, str) and name in EXTRA_SCHEMES:
+        cls = EXTRA_SCHEMES[name]
+    else:
+        cls = _SCHEMES[SchemeName.parse(name)]
     return cls(sim, config, stats, hierarchy, memory,
                tracer=tracer if tracer is not None else NULL_TRACER)
 
 
 __all__ = [
+    "EXTRA_SCHEMES",
     "KilnScheme",
     "OptimalScheme",
     "PersistenceScheme",
     "SoftwareScheme",
     "TxCacheScheme",
     "create_scheme",
+    "register_scheme",
 ]

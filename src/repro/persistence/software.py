@@ -18,7 +18,12 @@ undo-log protocol a library like Mnemosyne/NV-heaps executes:
 Recovery: transactions whose commit record is durable are complete
 (their data was flushed before the record); all others are rolled back
 from the undo log — any of their in-place writes that reached the NVM
-are restored to the pre-transaction value.
+are restored to the pre-transaction value.  The undo values are
+captured at *runtime*, in the global (architectural) order the stores
+actually issue in: computing them per-core at trace-preparation time —
+the original implementation — silently assumed cores never write the
+same line, and on cross-core conflict programs (the litmus matrix)
+would roll a line back past another core's committed write.
 
 This is where the paper's SP costs come from: roughly 2x NVM write
 traffic (log + data + record) and serialized flush/fence stalls on the
@@ -27,7 +32,7 @@ critical path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..common.types import (
     HOME_REGION_LIMIT,
@@ -77,10 +82,11 @@ class SoftwareScheme(PersistenceScheme):
         # outstanding clwb writebacks per core, and fence waiters
         self._outstanding: Dict[int, int] = {}
         self._fence_waiters: Dict[int, List[Resume]] = {}
-        # recovery bookkeeping, filled during prepare_trace
-        self._tx_writes: Dict[int, Dict[int, Version]] = {}
-        self._tx_undo: Dict[int, Dict[int, Optional[Version]]] = {}
-        self._tx_order: List[int] = []
+        # recovery bookkeeping, captured at runtime in store-issue
+        # order: (tx, line, pre-store version) per in-place data store,
+        # plus the current architectural version per data line
+        self._undo_log: List[Tuple[int, int, Optional[Version]]] = []
+        self._current_version: Dict[int, Optional[Version]] = {}
         # commit-record durability, observed at runtime
         self.record_durable: Dict[int, int] = {}
 
@@ -92,7 +98,6 @@ class SoftwareScheme(PersistenceScheme):
         self._next_log_region += 1
         log_base = SP_LOG_BASE + region * SP_LOG_STRIDE
         log_cursor = 0
-        current_version: Dict[int, Optional[Version]] = {}
         out = Trace(name=f"{trace.name}+sp")
         pending_tx: Optional[List[TraceOp]] = None
         open_tx: Optional[int] = None
@@ -101,7 +106,6 @@ class SoftwareScheme(PersistenceScheme):
             nonlocal log_cursor
             stores = [op for op in body
                       if op.op is OpType.STORE and op.persistent]
-            undo: Dict[int, Optional[Version]] = {}
             writes: Dict[int, Version] = {}
             out.ops.append(TraceOp(OpType.TX_BEGIN, tx_id=tx_id))
             # 1. build + persist the undo log.  Each log record is
@@ -110,8 +114,6 @@ class SoftwareScheme(PersistenceScheme):
             touched_log_lines: Dict[int, None] = {}
             for index, store in enumerate(stores):
                 data_line = line_addr(store.addr)
-                if data_line not in undo:
-                    undo[data_line] = current_version.get(data_line)
                 writes[data_line] = store.version
                 log_entry = log_base + (log_cursor % SP_LOG_WRAP)
                 log_cursor += 16
@@ -139,11 +141,6 @@ class SoftwareScheme(PersistenceScheme):
                 out.ops.append(TraceOp(OpType.CLWB, addr=record, tx_id=tx_id))
                 out.ops.append(TraceOp(OpType.SFENCE, tx_id=tx_id))
             out.ops.append(TraceOp(OpType.TX_END, tx_id=tx_id))
-            for data_line, version in writes.items():
-                current_version[data_line] = version
-            self._tx_writes[tx_id] = writes
-            self._tx_undo[tx_id] = undo
-            self._tx_order.append(tx_id)
 
         for op in trace.ops:
             if op.op is OpType.TX_BEGIN:
@@ -156,11 +153,27 @@ class SoftwareScheme(PersistenceScheme):
             elif pending_tx is not None:
                 pending_tx.append(op)
             else:
-                if op.op is OpType.STORE and op.persistent:
-                    current_version[line_addr(op.addr)] = op.version
                 out.ops.append(op)
         out.validate()
         return out
+
+    # ------------------------------------------------------------------
+    # runtime: in-place data stores (undo capture)
+    # ------------------------------------------------------------------
+    def store(self, core, op, on_issue, on_retire) -> None:
+        # Record the pre-store architectural version in global issue
+        # order.  Log-region and commit-record stores are outside the
+        # home region and are not captured; the capture order matches
+        # the hierarchy's architectural write order because both are
+        # updated synchronously from this same event.
+        if op.persistent and is_home_line(op.addr):
+            data_line = line_addr(op.addr)
+            if op.tx_id is not None and op.version is not None:
+                self._undo_log.append(
+                    (op.tx_id, data_line,
+                     self._current_version.get(data_line)))
+            self._current_version[data_line] = op.version
+        super().store(core, op, on_issue, on_retire)
 
     # ------------------------------------------------------------------
     # runtime: clwb / sfence
@@ -220,22 +233,26 @@ class SoftwareScheme(PersistenceScheme):
 
     def durable_lines(self, crash_cycle: int) -> Dict[int, Optional[Version]]:
         """Undo-log recovery: roll back every in-place write of an
-        uncommitted transaction that reached the NVM."""
+        uncommitted transaction that reached the NVM.
+
+        The undo log is unwound newest-first across *all* cores, so a
+        chain of conflicting stores rolls back as a stack: restoring a
+        pre-value that itself belongs to an uncommitted transaction is
+        immediately undone by that transaction's own (earlier) entry.
+        """
         committed = self.durably_committed(crash_cycle)
         recovered = {
             line: version
             for line, version in self.memory.durable_state_at(crash_cycle).items()
             if is_home_line(line)
         }
-        for tx_id in reversed(self._tx_order):
+        for tx_id, data_line, old_version in reversed(self._undo_log):
             if tx_id in committed:
                 continue
-            undo = self._tx_undo.get(tx_id, {})
-            for data_line, old_version in undo.items():
-                found = recovered.get(data_line)
-                if found is not None and found.tx_id == tx_id:
-                    if old_version is None:
-                        recovered.pop(data_line, None)
-                    else:
-                        recovered[data_line] = old_version
+            found = recovered.get(data_line)
+            if found is not None and found.tx_id == tx_id:
+                if old_version is None:
+                    recovered.pop(data_line, None)
+                else:
+                    recovered[data_line] = old_version
         return recovered

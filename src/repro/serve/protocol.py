@@ -1,12 +1,12 @@
 """Wire protocol of the simulation service: JSON point specs.
 
 A request is one JSON object describing one experiment point — the
-same four frozen point kinds the batch engine runs
+same frozen point kinds the batch engine runs
 (:data:`repro.sim.parallel.POINT_KINDS`)::
 
     {
       "kind": "experiment",            // experiment | run_length |
-                                       //   crash | chaos
+                                       //   crash | chaos | litmus
       "workload": "hashtable",
       "scheme": "txcache",
       "operations": 100,               // optional (kind default)
@@ -20,6 +20,18 @@ same four frozen point kinds the batch engine runs
       "crash_cycle": 1200,             // crash/chaos kinds only
       "total_cycles": 4800,            //   (both required there)
       "deadline_ms": 30000             // optional per-request deadline
+    }
+
+Litmus points replace ``workload`` with an inline program (the
+:meth:`repro.litmus.LitmusProgram.to_dict` shape) and accept an
+optional crash stride::
+
+    {
+      "kind": "litmus",
+      "program": {"name": "mp", "cores": [[{"op": "tx_begin", ...}]]},
+      "scheme": "txcache",
+      "check_every": 1,                // optional
+      "config": {...}                  // optional, as above
     }
 
 Parsing builds the *identical* frozen point dataclass the engine
@@ -59,10 +71,13 @@ CONFIG_PRESETS = ("small", "paper")
 _TOP_KEYS = frozenset({
     "kind", "workload", "scheme", "operations", "seed",
     "workload_params", "config", "crash_cycle", "total_cycles",
-    "deadline_ms",
+    "deadline_ms", "program", "check_every",
 })
 _CONFIG_KEYS = frozenset({"preset", "num_cores", "overrides"})
 _CRASH_KINDS = frozenset({"crash", "chaos"})
+_LITMUS_ONLY_KEYS = ("program", "check_every")
+_LITMUS_REJECTED_KEYS = ("workload", "operations", "seed",
+                         "workload_params", "crash_cycle", "total_cycles")
 
 
 class ProtocolError(ValueError):
@@ -169,6 +184,12 @@ def parse_request(data: object) -> PointRequest:
         raise ProtocolError(f"kind must be one of "
                             f"{sorted(POINT_KINDS)}, got {kind!r}")
 
+    if kind == "litmus":
+        return _parse_litmus_request(data, point_cls)
+    for name in _LITMUS_ONLY_KEYS:
+        if name in data:
+            raise ProtocolError(f"{name} only applies to litmus points")
+
     workload = data.get("workload")
     if workload not in WORKLOADS:
         raise ProtocolError(f"workload must be one of "
@@ -214,6 +235,54 @@ def parse_request(data: object) -> PointRequest:
                 raise ProtocolError(
                     f"{name} only applies to crash/chaos points")
 
+    deadline = None
+    if "deadline_ms" in data:
+        deadline = _require_int(data, "deadline_ms", minimum=1) / 1000.0
+    return PointRequest(point=point_cls(**kwargs), deadline=deadline)
+
+
+def _parse_litmus_request(data: Mapping, point_cls) -> PointRequest:
+    """Litmus points carry an inline program instead of a workload.
+
+    The program is validated here (grammar, TX bracketing, unique tx
+    ids) so a malformed program is a 400 at the front door; the point
+    stores its canonical JSON, giving the served run the same cache
+    key an engine-built litmus sweep would use.
+    """
+    from ..litmus import LitmusProgram
+
+    for name in _LITMUS_REJECTED_KEYS:
+        if name in data:
+            raise ProtocolError(
+                f"{name} does not apply to litmus points "
+                "(the program rides inline)")
+    if "program" not in data:
+        raise ProtocolError("kind 'litmus' requires a program object")
+    try:
+        program = LitmusProgram.from_dict(data["program"])
+    except ValueError as exc:
+        raise ProtocolError(f"program: {exc}") from exc
+    try:
+        scheme = SchemeName.parse(data.get("scheme"))
+    except (ValueError, KeyError, AttributeError) as exc:
+        raise ProtocolError(
+            f"scheme must be one of "
+            f"{[s.value for s in SchemeName]}, "
+            f"got {data.get('scheme')!r}") from exc
+
+    config = build_config(data.get("config"))
+    if config.num_cores < program.num_cores:
+        raise ProtocolError(
+            f"program {program.name!r} needs {program.num_cores} cores, "
+            f"config has {config.num_cores} "
+            "(set config.num_cores)")
+    kwargs: Dict[str, object] = {
+        "program": program.canonical_json(),
+        "scheme": scheme.value,
+        "config": config,
+    }
+    if "check_every" in data:
+        kwargs["check_every"] = _require_int(data, "check_every", minimum=1)
     deadline = None
     if "deadline_ms" in data:
         deadline = _require_int(data, "deadline_ms", minimum=1) / 1000.0

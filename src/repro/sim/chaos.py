@@ -5,8 +5,10 @@ The crash tests (:mod:`repro.sim.crash`) prove failure atomicity under
 the second assumption: it sweeps fault-injection configurations
 (stochastic NVM write failures, lost/delayed/duplicated acks, TC bit
 flips) × crash fractions × schemes × workloads, runs every combination
-through the same :func:`~repro.sim.crash.check_recovery` atomicity
-oracle, and aggregates the resilience machinery's activity — retries,
+through the same legal-persist-set oracle as the crash and litmus
+harnesses (:func:`~repro.sim.crash.crash_and_check`, built on
+:mod:`repro.litmus.oracle`), and aggregates the resilience
+machinery's activity — retries,
 remaps, ack timeouts/reissues, ECC corrections, COW degradations — so
 a sweep shows not only *that* every run recovered consistently but
 *what it cost*.
@@ -23,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..common.config import FaultConfig, MachineConfig, small_machine_config
 from ..common.types import SchemeName
 from ..cpu.trace import Trace
-from .crash import check_recovery, measure_run_length
+from .crash import crash_and_check, measure_run_length
 from .runner import make_traces
 from .system import System
 
@@ -179,10 +181,8 @@ def run_chaos_crash(
     """One crash run under fault injection, checked for atomicity."""
     system = System(config, scheme, obs=obs)
     system.load_traces(traces)
-    system.run(until=crash_cycle)
-    committed = system.scheme.durably_committed(crash_cycle)
-    recovered = system.scheme.durable_lines(crash_cycle)
-    violations = check_recovery(traces, recovered, committed)
+    committed, recovered, violations = crash_and_check(
+        system, traces, crash_cycle)
     return ChaosRun(
         workload=workload,
         scheme=SchemeName.parse(scheme),

@@ -11,6 +11,14 @@ program order (write-order control, paper §2).
 the crash cycle, asks the scheme's recovery model for the recovered
 image and the durably-committed set, and checks both against the
 scheme-independent expectation derived from the workload traces.
+
+The expectation machinery itself lives in :mod:`repro.litmus.oracle`
+(the legal-persist-set oracle): :func:`check_recovery` is membership in
+the legal persist set, and :func:`expected_image` is its degenerate
+single-image case — exact whenever cores write disjoint heaps, which
+is true for every built-in workload.  On shared conflict lines the
+oracle accepts any per-core-maximal committed writer, which is what
+the litmus matrix exercises.
 """
 
 from __future__ import annotations
@@ -19,8 +27,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Union
 
 from ..common.config import MachineConfig, small_machine_config
-from ..common.types import SchemeName, Version, is_home_line, line_addr
-from ..cpu.trace import OpType, Trace
+from ..common.types import SchemeName, Version
+from ..cpu.trace import Trace
+from ..litmus.oracle import (check_membership, expected_image_from_summaries,
+                             tx_summaries)
 from .runner import make_traces
 from .system import System
 
@@ -30,43 +40,34 @@ def expected_image(traces: Sequence[Trace],
     """The line→version map implied by the traces if exactly the
     transactions in ``committed`` survived, in per-core program order
     (cores write disjoint heaps, so per-core order is total)."""
-    expected: Dict[int, Version] = {}
-    for trace in traces:
-        open_tx: Optional[int] = None
-        for op in trace.ops:
-            if op.op is OpType.TX_BEGIN:
-                open_tx = op.tx_id
-            elif op.op is OpType.TX_END:
-                open_tx = None
-            elif (op.op is OpType.STORE and op.version is not None
-                    and is_home_line(op.addr) and open_tx in committed):
-                expected[line_addr(op.addr)] = op.version
-    return expected
+    return expected_image_from_summaries(tx_summaries(traces), committed)
 
 
 def check_recovery(traces: Sequence[Trace],
                    recovered: Dict[int, Optional[Version]],
                    committed: Set[int]) -> List[str]:
-    """Return atomicity/ordering violations (empty list = consistent)."""
-    violations: List[str] = []
-    expected = expected_image(traces, committed)
-    all_tx = set()
-    for trace in traces:
-        for op in trace.ops:
-            if op.op is OpType.TX_BEGIN:
-                all_tx.add(op.tx_id)
-    for line, version in expected.items():
-        found = recovered.get(line)
-        if found != version:
-            violations.append(
-                f"line {line:#x}: expected committed {version}, found {found}")
-    for line, found in recovered.items():
-        if found is None or found.tx_id is None:
-            continue
-        if found.tx_id in all_tx and found.tx_id not in committed:
-            violations.append(
-                f"line {line:#x}: uncommitted data {found} leaked into NVM")
-    return violations
+    """Return atomicity/ordering violations (empty list = consistent).
+
+    Membership in the scheme-independent legal persist set: per-core
+    prefix closure of ``committed`` (write-order control), per-line
+    candidate membership (all-or-nothing transactions, newest committed
+    writer per core), and no uncommitted data leaked into the NVM.
+    """
+    return check_membership(tx_summaries(traces), committed, recovered)
+
+
+def crash_and_check(system: System, traces: Sequence[Trace],
+                    crash_cycle: int):
+    """Run ``system`` up to ``crash_cycle`` (volatile state left as the
+    crash finds it), query the scheme's recovery model in place, and
+    check the recovered image against the legal persist set.  Returns
+    ``(committed, recovered, violations)`` — the one crash/recover/check
+    sequence both the crash and chaos harnesses (and the litmus
+    stepping runner, in spirit) are built on."""
+    system.run(until=crash_cycle)
+    committed = system.scheme.durably_committed(crash_cycle)
+    recovered = system.scheme.durable_lines(crash_cycle)
+    return committed, recovered, check_recovery(traces, recovered, committed)
 
 
 @dataclass
@@ -165,10 +166,8 @@ def run_with_crash(
         traces = make_traces(workload, config.num_cores, operations,
                              seed=seed, **workload_params)
     system.load_traces(traces)
-    system.run(until=crash_cycle)
-    committed = system.scheme.durably_committed(crash_cycle)
-    recovered = system.scheme.durable_lines(crash_cycle)
-    violations = check_recovery(traces, recovered, committed)
+    committed, recovered, violations = crash_and_check(
+        system, traces, crash_cycle)
     program_committed = sum(core.committed_transactions
                             for core in system.cores)
     return CrashReport(

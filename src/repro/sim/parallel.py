@@ -305,10 +305,57 @@ class ChaosPoint:
         return ChaosRun.from_dict(payload)
 
 
+@dataclass(frozen=True)
+class LitmusPoint:
+    """One litmus program × scheme, crash-checked at every cycle.
+
+    The program rides in the spec as its canonical JSON string (the
+    byte-stable form whose sha256 is the program fingerprint), so the
+    cache key covers the full program text, the scheme, the machine
+    config (fault rates included — a fault-composed litmus run keys
+    differently from a clean one), and the crash stride.
+    """
+
+    program: str                     # LitmusProgram.canonical_json()
+    scheme: str                      # SchemeName.value or EXTRA_SCHEMES name
+    config: MachineConfig
+    check_every: int = 1
+
+    kind = "litmus"
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "program": json.loads(self.program),
+            "scheme": self.scheme,
+            "config": config_fingerprint(self.config),
+            "check_every": self.check_every,
+        }
+
+    @property
+    def key(self) -> str:
+        return point_key(self.kind, self.spec())
+
+    def execute(self) -> Dict[str, object]:
+        from ..litmus.program import LitmusProgram
+        from ..litmus.runner import run_litmus
+
+        program = LitmusProgram.from_dict(json.loads(self.program))
+        result = run_litmus(program, self.scheme, config=self.config,
+                            check_every=self.check_every)
+        return result.to_dict()
+
+    @staticmethod
+    def deserialize(payload: Dict[str, object]):
+        from ..litmus.runner import LitmusResult
+
+        return LitmusResult.from_dict(payload)
+
+
 #: kind string → point dataclass, for callers (the serving layer's wire
 #: protocol, notebooks) that build points from external descriptions
 POINT_KINDS = {cls.kind: cls for cls in (ExperimentPoint, RunLengthPoint,
-                                         CrashPoint, ChaosPoint)}
+                                         CrashPoint, ChaosPoint,
+                                         LitmusPoint)}
 
 
 def execute_point(point) -> Tuple[str, Dict[str, object], float]:

@@ -1,0 +1,103 @@
+"""Meta-tests: does the checker itself catch corrupted images?
+
+A consistency oracle that silently passes everything is worse than no
+oracle.  Each test takes a known-legal recovered image, corrupts it in
+one specific way a broken scheme could, and asserts the corruption is
+flagged with the right message.
+"""
+
+from repro.common.types import Version
+from repro.litmus.generator import (
+    message_passing,
+    overlapping_tx,
+    private_chain,
+)
+from repro.litmus.oracle import (
+    all_tx_ids,
+    check_membership,
+    expected_image_from_summaries,
+    tx_summaries,
+)
+from repro.litmus.program import line_address
+from repro.sim.crash import check_recovery
+
+
+def legal_state(program):
+    summaries = tx_summaries(program.to_traces())
+    committed = all_tx_ids(summaries)
+    image = expected_image_from_summaries(summaries, committed)
+    return summaries, committed, image
+
+
+class TestCorruptionsAreFlagged:
+    def test_clean_image_passes(self):
+        summaries, committed, image = legal_state(private_chain())
+        assert check_membership(summaries, committed, image) == []
+
+    def test_dropped_committed_line_is_flagged(self):
+        summaries, committed, image = legal_state(private_chain())
+        dropped = sorted(image)[0]
+        del image[dropped]
+        violations = check_membership(summaries, committed, image)
+        assert any(f"line {dropped:#x}: expected committed" in v
+                   for v in violations), violations
+
+    def test_stale_overwritten_version_is_flagged(self):
+        # chain: core 0's tx 2 rewrites private line (0,0); exposing
+        # tx 1's overwritten version violates per-line freshness
+        summaries, committed, image = legal_state(private_chain())
+        line = line_address(8)  # _private_line(0, 0)
+        assert image[line] == Version(2, 0)
+        image[line] = Version(1, 0)
+        violations = check_membership(summaries, committed, image)
+        assert any(f"line {line:#x}" in v and "V(tx=1,seq=0)" in v
+                   for v in violations), violations
+
+    def test_torn_tx_is_flagged(self):
+        # overlap's tx 1 writes two lines; an image holding only one
+        # of them (other line absent) breaks failure atomicity
+        summaries, _, _ = legal_state(overlapping_tx())
+        committed = {1}
+        torn = {line_address(0): Version(1, 0)}  # line 1 missing
+        violations = check_membership(summaries, committed, torn)
+        assert any(f"line {line_address(1):#x}" in v
+                   for v in violations), violations
+
+    def test_uncommitted_leak_is_flagged(self):
+        summaries, _, _ = legal_state(message_passing())
+        committed = {1}
+        leaked = {line_address(0): Version(1, 0),
+                  line_address(1): Version(2, 0)}  # tx 2 not durable
+        violations = check_membership(summaries, committed, leaked)
+        assert any("uncommitted data" in v and "leaked into NVM" in v
+                   for v in violations), violations
+
+    def test_non_prefix_commit_set_is_flagged(self):
+        summaries, _, _ = legal_state(message_passing())
+        committed = {2}  # flag durable, data not: MP's failure mode
+        image = expected_image_from_summaries(summaries, committed)
+        violations = check_membership(summaries, committed, image)
+        assert any("write-order violation" in v for v in violations)
+
+    def test_not_in_legal_set_message_on_conflict_lines(self):
+        # a version no core's last committed writer produced is
+        # reported against the (multi-valued) legal set
+        summaries, committed, image = legal_state(overlapping_tx())
+        line = line_address(0)
+        image[line] = Version(1, 7)  # never written
+        violations = check_membership(summaries, committed, image)
+        assert any("not in legal persist set" in v for v in violations)
+
+
+class TestCheckRecoveryWrapper:
+    """The historic trace-level entry point must flag the same
+    corruptions — crash_sweep and chaos_sweep go through it."""
+
+    def test_flags_through_traces(self):
+        program = private_chain()
+        traces = program.to_traces()
+        summaries, committed, image = legal_state(program)
+        assert check_recovery(traces, image, committed) == []
+        dropped = sorted(image)[0]
+        del image[dropped]
+        assert check_recovery(traces, image, committed)

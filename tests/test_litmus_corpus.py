@@ -1,0 +1,149 @@
+"""Frozen litmus corpus: minimized counterexamples + legal-set pins.
+
+``tests/data/litmus_corpus.json`` freezes two things:
+
+* **counterexamples** — the minimized program the delta-debugger
+  produces for each classic shape under the intentionally broken
+  commit-before-flush scheme.  Replaying them guards both directions:
+  the checker must still catch them (a checker regression shows up as
+  a now-passing counterexample) and the minimizer must not regress
+  into bigger reductions.
+* **oracle pins** — explicit legal-persist-set enumerations for the
+  shapes with interesting (multi-valued) sets.  Any change to the
+  oracle's model moves these as a reviewable data diff.
+
+Intentional model changes regenerate the corpus the same way the
+golden figures do::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_litmus_corpus.py
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.litmus import (
+    BROKEN_COMMIT,
+    LitmusProgram,
+    minimize_violation,
+    run_litmus,
+)
+from repro.litmus.generator import (
+    message_passing,
+    overlapping_tx,
+    private_chain,
+    shared_counter,
+    store_buffering,
+)
+from repro.litmus.oracle import all_tx_ids, legal_images, tx_summaries
+
+CORPUS_PATH = pathlib.Path(__file__).parent / "data" / "litmus_corpus.json"
+
+#: shapes whose broken-scheme counterexamples the corpus freezes
+COUNTEREXAMPLE_SHAPES = {
+    "mp": message_passing,
+    "sb": store_buffering,
+    "overlap": overlapping_tx,
+    "counter": shared_counter,
+    "chain": private_chain,
+}
+
+#: the ISSUE's acceptance bound on minimized counterexample size
+MAX_COUNTEREXAMPLE_OPS = 8
+
+#: shapes whose full-commit legal persist sets the corpus pins
+ORACLE_SHAPES = {
+    "mp": message_passing,
+    "overlap": overlapping_tx,
+    "chain": private_chain,
+}
+
+
+def serialize_images(images):
+    return [{str(line): [version.tx_id, version.seq]
+             for line, version in sorted(image.items())}
+            for image in images]
+
+
+def enumerate_legal_set(shape):
+    summaries = tx_summaries(shape().to_traces())
+    committed = all_tx_ids(summaries)
+    return sorted(committed), serialize_images(
+        legal_images(summaries, committed))
+
+
+def build_corpus():
+    counterexamples = []
+    for source, shape in sorted(COUNTEREXAMPLE_SHAPES.items()):
+        minimized = minimize_violation(shape(), BROKEN_COMMIT)
+        counterexamples.append({
+            "source": source,
+            "scheme": BROKEN_COMMIT,
+            "program": minimized.to_dict(),
+            "fingerprint": minimized.fingerprint,
+        })
+    oracle = []
+    for source, shape in sorted(ORACLE_SHAPES.items()):
+        committed, images = enumerate_legal_set(shape)
+        oracle.append({"source": source, "committed": committed,
+                       "legal_images": images})
+    return {"counterexamples": counterexamples, "oracle": oracle}
+
+
+def load_corpus():
+    return json.loads(CORPUS_PATH.read_text())
+
+
+@pytest.fixture(scope="module", autouse=True)
+def regenerate_if_requested():
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        CORPUS_PATH.parent.mkdir(exist_ok=True)
+        CORPUS_PATH.write_text(json.dumps(build_corpus(), indent=2)
+                               + "\n")
+
+
+def test_corpus_covers_every_shape():
+    corpus = load_corpus()
+    assert sorted(e["source"] for e in corpus["counterexamples"]) == \
+        sorted(COUNTEREXAMPLE_SHAPES)
+    assert sorted(e["source"] for e in corpus["oracle"]) == \
+        sorted(ORACLE_SHAPES)
+
+
+@pytest.mark.parametrize("source", sorted(COUNTEREXAMPLE_SHAPES))
+def test_frozen_counterexample_still_fails(source):
+    entry = next(e for e in load_corpus()["counterexamples"]
+                 if e["source"] == source)
+    program = LitmusProgram.from_dict(entry["program"])
+    assert program.fingerprint == entry["fingerprint"]
+    assert program.op_count <= MAX_COUNTEREXAMPLE_OPS
+    result = run_litmus(program, entry["scheme"])
+    assert not result.consistent, (
+        f"frozen counterexample {source} no longer caught — checker "
+        "regression?")
+
+
+@pytest.mark.parametrize("source", sorted(COUNTEREXAMPLE_SHAPES))
+def test_minimizer_still_reaches_the_frozen_size(source):
+    entry = next(e for e in load_corpus()["counterexamples"]
+                 if e["source"] == source)
+    frozen_ops = LitmusProgram.from_dict(entry["program"]).op_count
+    minimized = minimize_violation(COUNTEREXAMPLE_SHAPES[source](),
+                                   BROKEN_COMMIT)
+    assert minimized.op_count <= frozen_ops, (
+        f"minimizer regressed on {source}: {minimized.op_count} ops "
+        f"vs frozen {frozen_ops}")
+
+
+@pytest.mark.parametrize("source", sorted(ORACLE_SHAPES))
+def test_legal_set_matches_the_pinned_enumeration(source):
+    entry = next(e for e in load_corpus()["oracle"]
+                 if e["source"] == source)
+    committed, images = enumerate_legal_set(ORACLE_SHAPES[source])
+    assert committed == entry["committed"]
+    assert images == entry["legal_images"], (
+        f"legal persist set of {source} drifted from the corpus "
+        "(intentional? see module docstring)")

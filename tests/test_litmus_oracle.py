@@ -1,0 +1,165 @@
+"""The legal-persist-set oracle: summaries, prefixes, candidates.
+
+These tests pin the oracle's *model* — what a correct persistency
+implementation is allowed to expose after a crash — independently of
+any simulator.  The runner tests then hold the schemes to it.
+"""
+
+import pytest
+
+from repro.common.types import Version
+from repro.litmus.generator import (
+    message_passing,
+    overlapping_tx,
+    private_chain,
+    shared_counter,
+)
+from repro.litmus.oracle import (
+    TxSummary,
+    all_tx_ids,
+    check_membership,
+    expected_image_from_summaries,
+    legal_commit_sets,
+    legal_images,
+    line_candidates,
+    prefix_violations,
+    tx_summaries,
+)
+from repro.litmus.program import line_address
+
+
+def summaries_of(program):
+    return tx_summaries(program.to_traces())
+
+
+class TestTxSummaries:
+    def test_mp_extracts_both_cores(self):
+        summaries = summaries_of(message_passing())
+        assert len(summaries) == 2
+        # core 0: data tx then flag tx, in program order
+        assert [tx.tx_id for tx in summaries[0]] == [1, 2]
+        assert summaries[0][0].writes == (
+            (line_address(0), Version(1, 0)),)
+        assert summaries[0][1].writes == (
+            (line_address(1), Version(2, 0)),)
+        assert [tx.index for tx in summaries[0]] == [0, 1]
+
+    def test_final_version_per_line_within_a_tx(self):
+        # counter commits the same line twice inside each core;
+        # within one tx only the final version counts
+        summaries = summaries_of(shared_counter())
+        for core_txs in summaries:
+            for tx in core_txs:
+                lines = [line for line, _ in tx.writes]
+                assert len(lines) == len(set(lines))
+
+    def test_all_tx_ids(self):
+        program = message_passing()
+        assert all_tx_ids(summaries_of(program)) == program.tx_ids()
+
+
+class TestPrefixClosure:
+    def test_empty_and_full_sets_are_prefixes(self):
+        summaries = summaries_of(message_passing())
+        assert prefix_violations(summaries, set()) == []
+        assert prefix_violations(summaries, all_tx_ids(summaries)) == []
+
+    def test_flag_without_data_is_flagged(self):
+        # MP's whole point: tx 2 (flag) durable while tx 1 (data) is
+        # not violates write-order control
+        summaries = summaries_of(message_passing())
+        violations = prefix_violations(summaries, {2})
+        assert violations
+        assert "write-order violation on core 0" in violations[0]
+        assert "tx 2" in violations[0] and "tx 1" in violations[0]
+
+    def test_write_free_tx_creates_no_gap(self):
+        # a read-only transaction has no durable footprint; schemes
+        # that never mark it committed (SP emits no commit record for
+        # it) must not trip the prefix check
+        summaries = [[
+            TxSummary(tx_id=1, core=0, index=0,
+                      writes=((line_address(0), Version(1, 0)),)),
+            TxSummary(tx_id=2, core=0, index=1, writes=()),
+            TxSummary(tx_id=3, core=0, index=2,
+                      writes=((line_address(1), Version(3, 0)),)),
+        ]]
+        assert prefix_violations(summaries, {1, 3}) == []
+        # ...but skipping a *writing* tx is still a violation
+        assert prefix_violations(summaries, {3})
+
+    def test_legal_commit_sets_are_per_core_prefix_products(self):
+        summaries = summaries_of(message_passing())
+        sets = legal_commit_sets(summaries)
+        # core 0 has 3 prefixes ({}, {1}, {1,2}), core 1 has 2
+        assert len(sets) == 6
+        assert set() in sets
+        assert {1, 2, 65} in sets
+        assert all(prefix_violations(summaries, s) == [] for s in sets)
+        # the non-prefix set is absent
+        assert {2} not in sets
+
+
+class TestLineCandidates:
+    def test_private_lines_are_singletons(self):
+        summaries = summaries_of(private_chain())
+        committed = all_tx_ids(summaries)
+        for candidates in line_candidates(summaries, committed).values():
+            assert len(candidates) == 1
+
+    def test_conflicting_committed_writers_are_both_legal(self):
+        # overlap: both cores commit to shared lines 0 and 1
+        summaries = summaries_of(overlapping_tx())
+        committed = all_tx_ids(summaries)
+        candidates = line_candidates(summaries, committed)
+        assert candidates[line_address(0)] == {Version(1, 0),
+                                               Version(65, 1)}
+        assert candidates[line_address(1)] == {Version(1, 1),
+                                               Version(65, 0)}
+
+    def test_within_core_only_last_committed_writer_counts(self):
+        # counter: core 0 commits line 0 in tx 1 then tx 2 — only the
+        # tx 2 version is a legal exposure from core 0's side
+        summaries = summaries_of(shared_counter())
+        candidates = line_candidates(summaries, {1, 2})
+        assert candidates[line_address(0)] == {Version(2, 0)}
+
+    def test_touched_but_uncommitted_lines_must_be_absent(self):
+        summaries = summaries_of(message_passing())
+        candidates = line_candidates(summaries, set())
+        assert all(c == {None} for c in candidates.values())
+
+
+class TestLegalImages:
+    def test_conflict_free_set_is_singleton_and_matches_expected(self):
+        summaries = summaries_of(private_chain())
+        for committed in legal_commit_sets(summaries):
+            images = legal_images(summaries, committed)
+            assert len(images) == 1
+            assert images[0] == expected_image_from_summaries(
+                summaries, committed)
+
+    def test_overlap_full_commit_has_four_images(self):
+        summaries = summaries_of(overlapping_tx())
+        committed = all_tx_ids(summaries)
+        images = legal_images(summaries, committed)
+        # 2 candidates on each of 2 shared lines
+        assert len(images) == 4
+        # deterministic enumeration order
+        assert images == legal_images(summaries, committed)
+        # the old single-image expectation is one member of the set
+        assert expected_image_from_summaries(summaries,
+                                             committed) in images
+
+    def test_enumeration_limit_is_enforced(self):
+        summaries = summaries_of(overlapping_tx())
+        committed = all_tx_ids(summaries)
+        with pytest.raises(ValueError, match="legal persist set larger"):
+            legal_images(summaries, committed, limit=2)
+
+    def test_every_enumerated_image_passes_membership(self):
+        summaries = summaries_of(overlapping_tx())
+        for committed in legal_commit_sets(summaries):
+            for image in legal_images(summaries, committed):
+                assert check_membership(summaries, committed,
+                                        image) == []
