@@ -297,6 +297,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--out",
                               help="output path: JSON-lines workload trace, "
                                    "or Chrome trace JSON with --scheme")
+    trace_parser.add_argument("--merge-serve", action="append",
+                              default=None, metavar="SPAN_TRACE_JSON",
+                              help="merge these wall-clock span traces "
+                                   "(a node's or router's /trace dump) "
+                                   "into the cycle-domain trace, writing "
+                                   "one combined Perfetto file "
+                                   "(repeatable)")
 
     serve_parser = sub.add_parser(
         "serve", help="run the long-lived simulation service")
@@ -326,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--port-file", default=None,
                               help="write the bound port to this file "
                                    "once listening (fleet harnesses)")
+    serve_parser.add_argument("--log-json", action="store_true",
+                              help="emit structured one-JSON-object-per-"
+                                   "line logs (ts/level/node_id/"
+                                   "request_id/event) instead of plain "
+                                   "prints")
 
     cluster_parser = sub.add_parser(
         "cluster",
@@ -394,6 +406,10 @@ def build_parser() -> argparse.ArgumentParser:
                                help="resubmit through 503 sheds and "
                                     "connection failures up to N times, "
                                     "honoring Retry-After (default 0)")
+    submit_parser.add_argument("--request-id", default=None,
+                               help="correlation id sent as X-Request-Id "
+                                    "(default: server-generated); shows "
+                                    "up in spans, logs, and the response")
 
     mix_parser = sub.add_parser(
         "mix", help="heterogeneous mix: one workload per core")
@@ -703,7 +719,8 @@ def _cmd_trace_simulation(args, workload_name: str) -> int:
     to its measured total stall cycles — that invariant holding is what
     makes the breakdown trustworthy.
     """
-    from .obs import Observability, StallReport
+    from .obs import (Observability, StallReport, merge_chrome_traces,
+                      validate_chrome_trace)
 
     obs = Observability(epoch=args.epoch, ring_capacity=args.ring,
                         sample_every=args.sample_every)
@@ -712,7 +729,34 @@ def _cmd_trace_simulation(args, workload_name: str) -> int:
                             operations=args.operations, seed=args.seed,
                             obs=obs)
     out = args.out or f"{workload_name}_{args.scheme}.trace.json"
-    obs.write(out)
+    merge_paths = getattr(args, "merge_serve", None) or []
+    if merge_paths:
+        # fold wall-clock serve/router span traces (the /trace dumps)
+        # into the cycle-domain trace: one Perfetto file, one track
+        # group per process
+        serve_traces = []
+        for path in merge_paths:
+            try:
+                with open(path) as fp:
+                    serve_traces.append(json.load(fp))
+            except (OSError, ValueError) as error:
+                print(f"repro trace: cannot read span trace {path}: "
+                      f"{error}", file=sys.stderr)
+                return 2
+        merged = merge_chrome_traces(obs.tracer.chrome_trace(),
+                                     *serve_traces)
+        problems = validate_chrome_trace(merged)
+        if problems:
+            for problem in problems:
+                print(f"repro trace: merged trace invalid: {problem}",
+                      file=sys.stderr)
+            return 1
+        with open(out, "w") as fp:
+            json.dump(merged, fp, separators=(",", ":"))
+            fp.write("\n")
+        print(f"merged {len(serve_traces)} span trace(s) into {out}")
+    else:
+        obs.write(out)
     tracer = obs.tracer
     print(f"trace: {workload_name}/{args.scheme} — {result.cycles} cycles, "
           f"{result.instructions_executed} instructions")
@@ -751,7 +795,8 @@ def cmd_serve(args) -> int:
                          max_inflight=args.max_inflight,
                          cache_max_bytes=args.cache_max_bytes,
                          node_id=args.node_id,
-                         announce=announce)
+                         announce=announce,
+                         log_json=args.log_json)
 
 
 def cmd_cluster(args) -> int:
@@ -847,7 +892,8 @@ def cmd_submit(args) -> int:
     client = ServeClient(host=args.host, port=args.port,
                          timeout=args.timeout)
     try:
-        response = client.submit(request, retries=args.retries)
+        response = client.submit(request, retries=args.retries,
+                                 request_id=args.request_id)
     except ServeError as error:
         print(f"repro submit: {error}", file=sys.stderr)
         if error.retry_after:

@@ -60,7 +60,8 @@ class NodeProcess:
 
     def __init__(self, node_id: str, host: str, port: int,
                  cache_dir: pathlib.Path, jobs: int,
-                 max_queue: int, log_path: pathlib.Path) -> None:
+                 max_queue: int, log_path: pathlib.Path,
+                 log_json: bool = True) -> None:
         self.node_id = node_id
         self.host = host
         self.port = port
@@ -68,6 +69,7 @@ class NodeProcess:
         self.jobs = jobs
         self.max_queue = max_queue
         self.log_path = log_path
+        self.log_json = log_json
         self.proc: Optional[subprocess.Popen] = None
         self.stopped = False     # SIGSTOPped (hung), not dead
 
@@ -89,6 +91,10 @@ class NodeProcess:
                    "--max-queue", str(self.max_queue),
                    "--cache-dir", str(self.cache_dir),
                    "--node-id", self.node_id]
+        if self.log_json:
+            # structured per-node logs make <node_id>.log greppable by
+            # request id across the whole fleet
+            command.append("--log-json")
         log = open(self.log_path, "ab")
         try:
             # Own session ⇒ own process group: a node is the serve
@@ -185,7 +191,7 @@ class LocalFleet:
 
     def __init__(self, nodes: int = 3, jobs: int = 1,
                  cache_root=None, host: str = "127.0.0.1",
-                 max_queue: int = 64) -> None:
+                 max_queue: int = 64, log_json: bool = True) -> None:
         if nodes < 1:
             raise ValueError(f"nodes must be >= 1, got {nodes}")
         if cache_root is None:
@@ -199,7 +205,8 @@ class LocalFleet:
                         port=_free_port(host),
                         cache_dir=root / f"node{index}",
                         jobs=jobs, max_queue=max_queue,
-                        log_path=root / f"node{index}.log")
+                        log_path=root / f"node{index}.log",
+                        log_json=log_json)
             for index in range(nodes)
         ]
 

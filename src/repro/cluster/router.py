@@ -42,11 +42,16 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..common.stats import Stats
 from ..faults import exponential_backoff
-from ..serve.ops import TimeSlicer, install_signal_handlers
+from ..obs.jsonlog import get_logger
+from ..obs.metrics import stats_to_prometheus
+from ..obs.spans import SpanRecorder
+from ..serve.ops import (TimeSlicer, ensure_request_id,
+                         install_signal_handlers, tick_forever)
 from ..serve.protocol import ProtocolError, parse_request
 from ..serve.server import read_http_request, write_http_response
 from .membership import Membership, NodeInfo
@@ -110,6 +115,8 @@ class RouterService:
         self.slicer.add_probe("ready_nodes",
                               lambda: len(self.membership.ready_ids()))
         self.slicer.add_probe("inflight", lambda: len(self._inflight))
+        self.spans = SpanRecorder("router")
+        self.log = get_logger()
         self._inflight: Dict[str, asyncio.Future] = {}
         self._ready_callback = ready_callback
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -134,8 +141,14 @@ class RouterService:
         if install_signals:
             install_signal_handlers(self._loop, self._shutdown.set)
         health = asyncio.create_task(self._health_forever())
+        # telemetry ticks on its own task: coupling the sampler to the
+        # health loop leaves idle-period gaps whenever probes stall
+        ticker = asyncio.create_task(tick_forever(self.slicer))
         if self._ready_callback is not None:
             self._ready_callback(self.bound_port)
+        self.log.log("router.ready", host=self.host,
+                     port=self.bound_port,
+                     nodes=len(self.membership.node_ids))
         try:
             await self._shutdown.wait()
         finally:
@@ -144,16 +157,19 @@ class RouterService:
             # let in-flight forwards answer their clients
             if self._connections:
                 await asyncio.wait(set(self._connections), timeout=10)
-            health.cancel()
-            try:
-                await health
-            except asyncio.CancelledError:
-                pass
+            for task in (health, ticker):
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            self.log.log("router.stop",
+                         uptime_seconds=round(
+                             self.slicer.uptime_seconds, 3))
 
     async def _health_forever(self) -> None:
         while True:
             await self.membership.check_once()
-            self.slicer.tick()
             await asyncio.sleep(self.health_interval_seconds)
 
     # -- HTTP front ----------------------------------------------------
@@ -169,7 +185,7 @@ class RouterService:
                 method, target, headers, body = request
                 self.stats.inc("cluster.http.requests")
                 status, payload, extra = await self._dispatch(
-                    method, target, body)
+                    method, target, body, headers)
                 self.stats.inc(f"cluster.http.{status}")
                 keep_alive = headers.get("connection", "").lower() \
                     != "close"
@@ -188,7 +204,8 @@ class RouterService:
             except (ConnectionError, OSError):
                 pass
 
-    async def _dispatch(self, method: str, target: str, body: bytes
+    async def _dispatch(self, method: str, target: str, body: bytes,
+                        headers: Optional[Dict[str, str]] = None
                         ) -> Tuple[int, Dict[str, object],
                                    Dict[str, str]]:
         target = target.split("?", 1)[0]
@@ -200,10 +217,18 @@ class RouterService:
             if method != "GET":
                 return 405, {"error": "use GET"}, {}
             return 200, await self.cluster_stats(), {}
+        if target == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}, {}
+            return 200, await self.cluster_metrics(), {}
+        if target == "/trace":
+            if method != "GET":
+                return 405, {"error": "use GET"}, {}
+            return 200, self.spans.chrome_trace(), {}
         if target == "/v1/points":
             if method != "POST":
                 return 405, {"error": "use POST"}, {}
-            return await self._submit(body)
+            return await self._submit(body, ensure_request_id(headers))
         return 404, {"error": f"no such endpoint {target!r}"}, {}
 
     def healthz_payload(self) -> Dict[str, object]:
@@ -220,9 +245,34 @@ class RouterService:
         }
 
     # -- routing -------------------------------------------------------
-    async def _submit(self, body: bytes
+    async def _submit(self, body: bytes,
+                      request_id: Optional[str] = None
                       ) -> Tuple[int, Dict[str, object],
                                  Dict[str, str]]:
+        if request_id is None:
+            request_id = ensure_request_id()
+        started = time.perf_counter()
+        with self.spans.span("route", "route",
+                             request_id=request_id) as span:
+            status, payload, extra = await self._submit_inner(
+                body, request_id)
+            span["status"] = status
+            if "key" in payload:
+                span["key"] = payload["key"]
+        self.stats.hist("cluster.request.ms",
+                        (time.perf_counter() - started) * 1000)
+        # every waiter (coalesced or not) answers with its *own* id
+        payload = dict(payload)
+        payload["request_id"] = request_id
+        extra = dict(extra)
+        extra["X-Request-Id"] = request_id
+        self.log.log("route", request_id=request_id, status=status,
+                     key=payload.get("key"), node=payload.get("node"))
+        return status, payload, extra
+
+    async def _submit_inner(self, body: bytes, request_id: str
+                            ) -> Tuple[int, Dict[str, object],
+                                       Dict[str, str]]:
         # Parse at the edge: a malformed spec is a 400 here, never a
         # wasted forward; a valid one yields the engine spec key the
         # ring places.  The original body is forwarded verbatim so the
@@ -242,6 +292,8 @@ class RouterService:
             # duplicate key in flight: ride the existing forward so
             # replicas are never double-charged for one point
             self.stats.inc("cluster.coalesced")
+            self.spans.instant("route", "coalesce.join",
+                               request_id=request_id, key=key)
             try:
                 return await asyncio.shield(future)
             except ReplicasExhausted as error:
@@ -252,7 +304,8 @@ class RouterService:
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
         try:
-            response = await self._forward_with_retries(key, body)
+            response = await self._forward_with_retries(key, body,
+                                                        request_id)
             future.set_result(response)
             return response
         except ReplicasExhausted as error:
@@ -291,10 +344,13 @@ class RouterService:
         return order
 
     async def _forward_with_retries(
-            self, key: str, body: bytes
+            self, key: str, body: bytes,
+            request_id: Optional[str] = None
     ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
         attempts = 0
         retry_after = 0
+        forward_headers = ({"X-Request-Id": request_id}
+                           if request_id else None)
         for round_number in range(1, self.retries + 2):
             candidates = self.candidates(key)
             in_home = set(self.ring.replicas(key, self.replication))
@@ -303,16 +359,23 @@ class RouterService:
                 if node_id not in in_home:
                     self.stats.inc("cluster.spillover")
                 info = self.membership.node(node_id)
-                try:
-                    status, headers, payload = await request_json(
-                        info.host, info.port, "POST", "/v1/points",
-                        body, timeout=self.request_timeout)
-                except (OSError, asyncio.TimeoutError,
-                        ValueError) as error:
-                    self.stats.inc("cluster.forward.errors")
-                    self.membership.mark_failure(
-                        node_id, f"{type(error).__name__}: {error}")
-                    continue
+                with self.spans.span("forward", "forward",
+                                     request_id=request_id, key=key,
+                                     node=node_id,
+                                     round=round_number) as span:
+                    try:
+                        status, headers, payload = await request_json(
+                            info.host, info.port, "POST", "/v1/points",
+                            body, timeout=self.request_timeout,
+                            headers=forward_headers)
+                    except (OSError, asyncio.TimeoutError,
+                            ValueError) as error:
+                        span["outcome"] = type(error).__name__
+                        self.stats.inc("cluster.forward.errors")
+                        self.membership.mark_failure(
+                            node_id, f"{type(error).__name__}: {error}")
+                        continue
+                    span["status"] = status
                 if status == 200:
                     self.stats.inc("cluster.forward.ok")
                     self.membership.mark_success(node_id)
@@ -333,6 +396,12 @@ class RouterService:
                 return status, dict(payload), {}
             if round_number <= self.retries:
                 self.stats.inc("cluster.retries")
+                self.spans.instant("forward", "retry.round",
+                                   request_id=request_id, key=key,
+                                   round=round_number)
+                self.log.log("retry.round", level="warning",
+                             request_id=request_id, key=key,
+                             round=round_number)
                 delay = exponential_backoff(
                     self.retry_backoff_seconds, round_number)
                 await asyncio.sleep(max(delay, retry_after))
@@ -393,6 +462,39 @@ class RouterService:
             "nodes": nodes,
             "counters_by_node": by_node.dump(),
         }
+
+    async def cluster_metrics(self) -> str:
+        """``/metrics``: the router's own registry (``repro_*``,
+        labelled ``role="router"``) followed by the fleet's summed
+        counters rebuilt via :meth:`Stats.from_flat` + :meth:`merge`
+        under the ``repro_fleet_*`` namespace — one scrape answers
+        both "how is routing going" and "what is the fleet doing"."""
+        own = stats_to_prometheus(
+            self.stats, namespace="repro",
+            labels={"role": "router"},
+            gauges={
+                "ready_nodes": len(self.membership.ready_ids()),
+                "nodes_total": len(self.membership.node_ids),
+                "inflight": len(self._inflight),
+                "uptime_seconds": round(self.slicer.uptime_seconds, 3),
+            })
+        node_ids = self.membership.node_ids
+        results = await asyncio.gather(
+            *(self._fetch_stats(node_id) for node_id in node_ids))
+        totals = Stats()
+        reachable = 0
+        for payload in results:
+            if payload is None:
+                continue
+            reachable += 1
+            counters = payload.get("counters", {})
+            totals.merge(Stats.from_flat(
+                counters if isinstance(counters, dict) else {}))
+        fleet = stats_to_prometheus(
+            totals, namespace="repro_fleet",
+            labels={"role": "router"},
+            gauges={"reachable_nodes": reachable})
+        return own + fleet
 
     async def _fetch_stats(self, node_id: str
                            ) -> Optional[Dict[str, object]]:

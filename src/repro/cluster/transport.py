@@ -19,21 +19,24 @@ from typing import Dict, Optional, Tuple
 
 async def request_json(host: str, port: int, method: str, path: str,
                        body: Optional[bytes] = None,
-                       timeout: float = 30.0
+                       timeout: float = 30.0,
+                       headers: Optional[Dict[str, str]] = None
                        ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
     """One HTTP request; returns ``(status, headers, decoded_json)``.
 
     Raises ``OSError`` on connection failure and
     ``asyncio.TimeoutError`` when the whole exchange exceeds
     ``timeout``.  A non-JSON body decodes to ``{"error": <text>}`` so
-    callers can treat every answer uniformly.
+    callers can treat every answer uniformly.  ``headers`` adds extra
+    request headers (the router forwards ``X-Request-Id`` this way).
     """
     return await asyncio.wait_for(
-        _request(host, port, method, path, body), timeout)
+        _request(host, port, method, path, body, headers), timeout)
 
 
 async def _request(host: str, port: int, method: str, path: str,
-                   body: Optional[bytes]
+                   body: Optional[bytes],
+                   extra_headers: Optional[Dict[str, str]] = None
                    ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
     reader, writer = await asyncio.open_connection(host, port)
     try:
@@ -44,6 +47,9 @@ async def _request(host: str, port: int, method: str, path: str,
                  f"Content-Length: {len(blob)}"]
         if blob:
             lines.append("Content-Type: application/json")
+        if extra_headers:
+            lines.extend(f"{name}: {value}"
+                         for name, value in extra_headers.items())
         writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
                      + blob)
         await writer.drain()

@@ -195,6 +195,12 @@ class Stats:
     def histogram(self, name: str) -> Histogram:
         return self._histograms.get(name, Histogram())
 
+    def histograms(self) -> Dict[str, Histogram]:
+        """All live histograms, key-sorted (for exporters such as
+        :func:`repro.obs.metrics.stats_to_prometheus`)."""
+        return {name: self._histograms[name]
+                for name in sorted(self._histograms)}
+
     def percentile(self, name: str, fraction: float) -> float:
         return self.histogram(name).percentile(fraction)
 

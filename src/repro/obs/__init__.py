@@ -27,8 +27,13 @@ from __future__ import annotations
 from typing import Optional
 
 from ..common.event import Simulator
+from .jsonlog import NULL_LOG, JsonLogger, NullLogger, get_logger
+from .metrics import (PROMETHEUS_CONTENT_TYPE, parse_prometheus,
+                      sanitize_metric_name, stats_to_prometheus)
 from .sampler import EpochSampler
 from .schema import validate_chrome_trace
+from .spans import (NULL_SPANS, NullSpanRecorder, SpanRecorder,
+                    merge_chrome_traces)
 from .stalls import PERSISTENCE_KINDS, STALL_KINDS, StallReport
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -36,6 +41,11 @@ __all__ = [
     "Observability", "Tracer", "NullTracer", "NULL_TRACER",
     "EpochSampler", "StallReport", "STALL_KINDS", "PERSISTENCE_KINDS",
     "validate_chrome_trace",
+    "SpanRecorder", "NullSpanRecorder", "NULL_SPANS",
+    "merge_chrome_traces",
+    "JsonLogger", "NullLogger", "NULL_LOG", "get_logger",
+    "stats_to_prometheus", "parse_prometheus", "sanitize_metric_name",
+    "PROMETHEUS_CONTENT_TYPE",
 ]
 
 

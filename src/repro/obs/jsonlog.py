@@ -1,0 +1,121 @@
+"""Structured JSON logging for the serving tier.
+
+One JSON object per line on a single stream: ``ts`` (unix seconds),
+``level``, ``event``, plus ``node_id`` and ``request_id`` when known,
+then any event-specific fields in sorted order.  A fleet of nodes
+writing these to their per-node log files (`LocalFleet` already
+redirects stdout/stderr there) gives `grep request_id` the full
+lifecycle of one request across processes — which is exactly what the
+``metrics-smoke`` CI job asserts.
+
+The process-wide logger is disabled by default (:data:`NULL_LOG`), so
+batch runs and existing tests emit nothing.  `repro serve --log-json`
+calls :func:`enable`, which also sets ``REPRO_JSONLOG`` /
+``REPRO_NODE_ID`` in the environment so pool workers forked by
+``ProcessPoolExecutor`` inherit the setting and tag their own
+``point.executed`` records (see ``sim/parallel.execute_point``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, IO, Optional
+
+ENV_FLAG = "REPRO_JSONLOG"
+ENV_NODE_ID = "REPRO_NODE_ID"
+
+
+class NullLogger:
+    """Disabled logger; the process-wide default."""
+
+    enabled = False
+
+    def log(self, event: str, level: str = "info",
+            request_id: Optional[str] = None, **fields: Any) -> None:
+        pass
+
+
+#: shared disabled logger — what :func:`get_logger` returns until
+#: :func:`enable` is called (or ``REPRO_JSONLOG=1`` is inherited).
+NULL_LOG = NullLogger()
+
+
+class JsonLogger(NullLogger):
+    """Writes one compact JSON object per line, thread-safely.
+
+    Args:
+        stream: destination (default ``sys.stderr``, so node process
+            logs capture it alongside tracebacks).
+        node_id: stamped on every line when set.
+        clock: unix-seconds source (injectable for tests).
+    """
+
+    enabled = True
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 node_id: Optional[str] = None,
+                 clock=time.time) -> None:
+        self._stream = stream
+        self.node_id = node_id
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def log(self, event: str, level: str = "info",
+            request_id: Optional[str] = None, **fields: Any) -> None:
+        record = {"ts": round(self._clock(), 6), "level": level,
+                  "event": event}
+        if self.node_id is not None:
+            record["node_id"] = self.node_id
+        if request_id is not None:
+            record["request_id"] = request_id
+        for key in sorted(fields):
+            record[key] = fields[key]
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            stream.write(line + "\n")
+            stream.flush()
+
+
+_process_logger: Optional[NullLogger] = None
+
+
+def enable(node_id: Optional[str] = None,
+           stream: Optional[IO[str]] = None) -> JsonLogger:
+    """Install a process-wide :class:`JsonLogger` and export the env
+    flags so forked pool workers inherit it."""
+    global _process_logger
+    logger = JsonLogger(stream=stream, node_id=node_id)
+    _process_logger = logger
+    os.environ[ENV_FLAG] = "1"
+    if node_id is not None:
+        os.environ[ENV_NODE_ID] = node_id
+    return logger
+
+
+def disable() -> None:
+    """Remove the process-wide logger and clear the env flags."""
+    global _process_logger
+    _process_logger = NULL_LOG
+    os.environ.pop(ENV_FLAG, None)
+    os.environ.pop(ENV_NODE_ID, None)
+
+
+def get_logger() -> NullLogger:
+    """The process-wide logger.
+
+    Resolution order: an explicit :func:`enable`/:func:`disable` call
+    wins; otherwise ``REPRO_JSONLOG=1`` in the environment (set by an
+    enabling parent before forking workers) lazily constructs one; the
+    fallback is :data:`NULL_LOG`."""
+    global _process_logger
+    if _process_logger is not None:
+        return _process_logger
+    if os.environ.get(ENV_FLAG) == "1":
+        _process_logger = JsonLogger(node_id=os.environ.get(ENV_NODE_ID))
+        return _process_logger
+    return NULL_LOG

@@ -1,0 +1,181 @@
+"""Wall-clock span tracing for the serving tier.
+
+The cycle-domain :class:`~repro.obs.tracer.Tracer` answers "where did
+the simulated cycles go"; this module answers "where did the *wall
+clock* go" for one request travelling router → node → scheduler →
+pool → cache.  A :class:`SpanRecorder` wraps the same bounded-ring,
+byte-stable tracer, but stamps events in microseconds since the
+recorder was created, so the serving stack's spans export as ordinary
+Chrome trace events — one Perfetto track per process (``router``,
+``serve:node0``) and one thread per subsystem (``scheduler``,
+``pool``, ``cache``, ``http``).
+
+Every span and instant may carry a ``request_id`` argument, which is
+how one ``X-Request-Id`` shows up in the router's routing span, the
+node's scheduler span, and the pool-execution span of the same
+request (see ``docs/observability.md`` for the taxonomy).
+
+:func:`merge_chrome_traces` folds several exported traces — e.g. a
+router span trace, a node span trace, and the cycle-domain trace of
+the very point the request computed — into one Perfetto-loadable file
+by re-assigning process ids so the tracks never collide
+(``repro trace --merge-serve``).
+
+Recording is cheap (a handful of events per request, nothing per
+simulated cycle) and never touches payloads: a served payload is
+byte-identical whether or not anything was recording.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from .tracer import Tracer
+
+
+class NullSpanRecorder:
+    """Disabled recorder: every emit is a no-op, spans yield an inert
+    annotation dict.  Shared via :data:`NULL_SPANS` so components can
+    default to "not recording" without branching at every call site."""
+
+    enabled = False
+
+    @contextmanager
+    def span(self, tid: str, name: str,
+             request_id: Optional[str] = None,
+             **args: Any) -> Iterator[Dict[str, Any]]:
+        yield {}
+
+    def instant(self, tid: str, name: str,
+                request_id: Optional[str] = None, **args: Any) -> None:
+        pass
+
+
+#: shared disabled recorder — the default everywhere a recorder is
+#: optional, so plain schedulers/tests allocate and record nothing.
+NULL_SPANS = NullSpanRecorder()
+
+
+class SpanRecorder(NullSpanRecorder):
+    """Bounded-ring wall-clock span recorder for one process.
+
+    Args:
+        process: the Perfetto process label every event carries
+            (``router``, ``serve:node0``, ...).
+        capacity: tracer ring size; oldest spans are evicted first.
+        clock: monotonic seconds source (injectable for tests).
+    """
+
+    enabled = True
+
+    def __init__(self, process: str, capacity: int = 4096,
+                 clock=time.monotonic) -> None:
+        self.process = process
+        self._clock = clock
+        self._origin = clock()
+        self.tracer = Tracer(capacity=capacity)
+
+    def now_us(self) -> int:
+        """Microseconds since the recorder was created."""
+        return int((self._clock() - self._origin) * 1_000_000)
+
+    @contextmanager
+    def span(self, tid: str, name: str,
+             request_id: Optional[str] = None,
+             **args: Any) -> Iterator[Dict[str, Any]]:
+        """Record the enclosed block as one complete event.
+
+        Yields an annotation dict: keys set on it inside the block
+        (e.g. the response status, the chosen node) are merged into
+        the span's args at exit — for facts only known at the end."""
+        start = self.now_us()
+        annotations: Dict[str, Any] = {}
+        try:
+            yield annotations
+        finally:
+            duration = max(self.now_us() - start, 0)
+            merged = dict(args)
+            merged.update(annotations)
+            if request_id is not None:
+                merged["request_id"] = request_id
+            self.tracer.complete(self.process, tid, name, start,
+                                 duration, **merged)
+
+    def instant(self, tid: str, name: str,
+                request_id: Optional[str] = None, **args: Any) -> None:
+        """Record one point-in-time event (a shed, a cache hit)."""
+        if request_id is not None:
+            args["request_id"] = request_id
+        self.tracer.instant(self.process, tid, name, self.now_us(),
+                            **args)
+
+    # -- inspection / export -------------------------------------------
+    def events(self) -> List[Dict[str, Any]]:
+        """Retained events as plain dicts (string labels)."""
+        return self.tracer.events()
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The retained spans as a Chrome trace-event JSON object
+        (timestamps are wall-clock microseconds, which is exactly what
+        Perfetto expects ``ts`` to be)."""
+        trace = self.tracer.chrome_trace()
+        trace["otherData"]["clock"] = "us"
+        trace["otherData"]["process"] = self.process
+        return trace
+
+    def write(self, path: str) -> None:
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, separators=(",", ":"))
+            fh.write("\n")
+
+
+def merge_chrome_traces(*traces: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge exported Chrome traces into one Perfetto-loadable object.
+
+    Each input keeps its own tracks: process ids are offset per trace
+    so a router trace's ``pid 1`` and a node trace's ``pid 1`` land on
+    distinct (still-named) tracks.  ``tid`` needs no rewrite — Chrome
+    scopes thread ids per process, and the pid offset already makes
+    every (pid, tid) pair unique.  Event order and all other fields
+    are preserved, so merging validated traces yields a validated
+    trace (:func:`~repro.obs.schema.validate_chrome_trace`).
+    """
+    merged: List[Dict[str, Any]] = []
+    clocks: List[Any] = []
+    pid_offset = 0
+    for trace in traces:
+        if not isinstance(trace, dict):
+            raise ValueError("merge_chrome_traces expects trace objects "
+                             "with 'traceEvents'")
+        events = trace.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("trace is missing 'traceEvents'")
+        max_pid = 0
+        for event in events:
+            event = dict(event)
+            pid = event.get("pid")
+            if isinstance(pid, int):
+                event["pid"] = pid + pid_offset
+                if pid > max_pid:
+                    max_pid = pid
+            merged.append(event)
+        pid_offset += max_pid
+        other = trace.get("otherData")
+        clocks.append(other.get("clock") if isinstance(other, dict)
+                      else None)
+    distinct = {clock for clock in clocks if clock is not None}
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "merged": len(traces),
+            "clocks": clocks,
+            # single summary clock: homogeneous inputs keep theirs; a
+            # serve+cycle merge is honest about mixing time domains
+            "clock": distinct.pop() if len(distinct) == 1 else "mixed",
+        },
+    }

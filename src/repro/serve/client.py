@@ -56,16 +56,19 @@ class ServeClient:
         self.timeout = timeout
 
     def _request(self, method: str, path: str,
-                 body: Optional[Dict[str, object]] = None
+                 body: Optional[Dict[str, object]] = None,
+                 headers: Optional[Dict[str, str]] = None
                  ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
         try:
             payload = None if body is None else json.dumps(body)
-            headers = {"Content-Type": "application/json"} \
+            send_headers = {"Content-Type": "application/json"} \
                 if body is not None else {}
+            if headers:
+                send_headers.update(headers)
             connection.request(method, path, body=payload,
-                               headers=headers)
+                               headers=send_headers)
             response = connection.getresponse()
             raw = response.read()
             try:
@@ -79,11 +82,13 @@ class ServeClient:
             connection.close()
 
     def _checked(self, method: str, path: str,
-                 body: Optional[Dict[str, object]] = None
+                 body: Optional[Dict[str, object]] = None,
+                 headers: Optional[Dict[str, str]] = None
                  ) -> Dict[str, object]:
-        status, headers, payload = self._request(method, path, body)
+        status, response_headers, payload = self._request(
+            method, path, body, headers)
         if status != 200:
-            retry_after = headers.get("retry-after")
+            retry_after = response_headers.get("retry-after")
             raise ServeError(status, payload,
                              retry_after=int(retry_after)
                              if retry_after else None)
@@ -96,11 +101,33 @@ class ServeClient:
     def stats(self) -> Dict[str, object]:
         return self._checked("GET", "/stats")
 
+    def metrics(self) -> str:
+        """The raw ``/metrics`` Prometheus exposition text."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServeError(response.status,
+                                 {"error": raw.decode("utf-8", "replace")})
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
+    def trace(self) -> Dict[str, object]:
+        """The node's wall-clock span trace (Chrome trace-event JSON)."""
+        return self._checked("GET", "/trace")
+
     def submit(self, request: Dict[str, object], retries: int = 0,
-               retry_backoff_seconds: float = 0.25
+               retry_backoff_seconds: float = 0.25,
+               request_id: Optional[str] = None
                ) -> Dict[str, object]:
         """Submit one point spec; returns the full 200 response
-        (``key``/``kind``/``cached``/``seconds``/``payload``).
+        (``key``/``kind``/``cached``/``seconds``/``payload``/
+        ``request_id``).  ``request_id`` is sent as ``X-Request-Id``
+        (and reused across retries, so all attempts correlate).
 
         With ``retries=N``, a 503 shed or a connection failure is
         retried up to N times, sleeping
@@ -111,11 +138,16 @@ class ServeClient:
         """
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        headers = {"X-Request-Id": request_id} if request_id else None
         attempt = 0
         while True:
             attempt += 1
             try:
-                return self._checked("POST", "/v1/points", body=request)
+                if headers is None:
+                    return self._checked("POST", "/v1/points",
+                                         body=request)
+                return self._checked("POST", "/v1/points", body=request,
+                                     headers=headers)
             except ServeError as error:
                 if error.status != 503 or attempt > retries:
                     raise

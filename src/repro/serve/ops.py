@@ -16,10 +16,14 @@ points, cache hit ratio) alongside the aggregate counters, answering
 
 from __future__ import annotations
 
+import asyncio
+import re
 import signal
 import time
-from typing import Callable, Dict, List
+import uuid
+from typing import Callable, Dict, List, Mapping, Optional
 
+from ..obs.metrics import stats_to_prometheus
 from ..obs.sampler import EpochSampler
 from ..obs.tracer import Tracer
 
@@ -61,6 +65,56 @@ class TimeSlicer:
             out.setdefault(event["name"], []).append(
                 [event["ts"], value])
         return out
+
+
+async def tick_forever(slicer: TimeSlicer) -> None:
+    """Drive a :class:`TimeSlicer` on a dedicated periodic task.
+
+    Sampling must not be coupled to traffic or to other periodic work
+    (health probes, request handling): a slicer ticked only when
+    something else happens leaves holes in the queue-depth/occupancy
+    series exactly when the interesting thing is that *nothing* is
+    happening.  Both the serve node and the cluster router run this as
+    their own asyncio task."""
+    while True:
+        slicer.tick()
+        await asyncio.sleep(slicer.epoch_ms / 1000)
+
+
+#: accepted caller-supplied request-id shape: opaque but greppable,
+#: safe in headers/log lines/trace args, bounded
+REQUEST_ID_RE = re.compile(r"[A-Za-z0-9._:-]{1,128}\Z")
+
+
+def ensure_request_id(headers: Optional[Mapping[str, str]] = None) -> str:
+    """The request's correlation id: the caller's ``X-Request-Id``
+    when present and well-formed, else a fresh opaque id.  Malformed
+    ids are replaced, not rejected — correlation is best-effort
+    telemetry and must never fail a request."""
+    if headers:
+        supplied = headers.get("x-request-id", "")
+        if supplied and REQUEST_ID_RE.match(supplied):
+            return supplied
+    return uuid.uuid4().hex
+
+
+def metrics_payload(service) -> str:
+    """The node's ``/metrics`` exposition text: every Stats counter
+    and histogram plus point-in-time gauges, labelled with the node
+    id so fleet scrapes stay distinguishable."""
+    scheduler = service.scheduler
+    gauges: Dict[str, float] = {
+        "queue_depth": scheduler.queue_depth,
+        "inflight": scheduler.inflight,
+        "draining": 1 if scheduler.draining else 0,
+        "uptime_seconds": round(service.slicer.uptime_seconds, 3),
+    }
+    if scheduler.cache is not None:
+        gauges["cache_entries"] = len(scheduler.cache)
+        gauges["cache_size_bytes"] = scheduler.cache.size_bytes()
+    labels = {"node": service.node_id} if service.node_id else {}
+    return stats_to_prometheus(service.stats, namespace="repro",
+                               labels=labels, gauges=gauges)
 
 
 def healthz_payload(service) -> Dict[str, object]:

@@ -49,14 +49,16 @@ class WorkerFleet:
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # -- pool lifecycle ------------------------------------------------
-    def _submit(self, point):
+    def _submit(self, point, request_id: Optional[str] = None):
         """Submit one point to the (lazily created) pool; returns the
         concurrent future.  Separate from :meth:`execute` so tests can
         inject pool failures deterministically."""
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
             self.stats.inc("pool.spawned")
-        return self._pool.submit(execute_point, point)
+        if request_id is None:
+            return self._pool.submit(execute_point, point)
+        return self._pool.submit(execute_point, point, request_id)
 
     def _discard_pool(self) -> None:
         """Drop a broken executor (its workers are already gone)."""
@@ -70,18 +72,26 @@ class WorkerFleet:
             pool.shutdown(wait=wait)
 
     # -- execution -----------------------------------------------------
-    async def execute(self, point) -> Tuple[str, dict, float]:
+    async def execute(self, point,
+                      request_id: Optional[str] = None
+                      ) -> Tuple[str, dict, float]:
         """Run one point in a worker; returns ``(key, payload,
         seconds)``.  Retries through worker crashes up to
         ``max_retries`` times, then raises :class:`WorkerCrashed`.
         Exceptions raised *by the point itself* (a simulation bug, a
         bad spec that slipped validation) propagate unchanged on the
         first attempt — they are deterministic, retrying cannot help.
+        ``request_id`` rides along to the worker purely so its
+        structured ``point.executed`` log record carries the id.
         """
         last_error: Optional[BaseException] = None
         for attempt in range(1, self.max_retries + 2):
             try:
-                future = asyncio.wrap_future(self._submit(point))
+                if request_id is None:
+                    future = asyncio.wrap_future(self._submit(point))
+                else:
+                    future = asyncio.wrap_future(
+                        self._submit(point, request_id))
                 return await future
             except BrokenProcessPool as error:
                 last_error = error

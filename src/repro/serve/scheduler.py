@@ -33,9 +33,12 @@ from __future__ import annotations
 
 import asyncio
 import math
-from typing import Dict, Optional
+import time
+from typing import Dict, List, Optional
 
 from ..common.stats import Stats
+from ..obs.jsonlog import NULL_LOG
+from ..obs.spans import NULL_SPANS
 from ..sim.parallel import ResultCache
 
 
@@ -58,7 +61,8 @@ class DeadlineExpired(Exception):
 class _Entry:
     """One admitted point: its task plus everyone waiting on it."""
 
-    __slots__ = ("key", "point", "future", "task", "waiters", "started")
+    __slots__ = ("key", "point", "future", "task", "waiters", "started",
+                 "request_ids")
 
     def __init__(self, key: str, point) -> None:
         self.key = key
@@ -68,6 +72,9 @@ class _Entry:
         self.task: Optional[asyncio.Task] = None
         self.waiters = 0
         self.started = False
+        # correlation ids of every waiter that joined this point —
+        # the first one travels with the computation into the pool
+        self.request_ids: List[str] = []
 
 
 class Scheduler:
@@ -75,7 +82,8 @@ class Scheduler:
 
     def __init__(self, fleet, cache: Optional[ResultCache] = None,
                  max_queue: int = 64, max_inflight: Optional[int] = None,
-                 stats: Optional[Stats] = None) -> None:
+                 stats: Optional[Stats] = None,
+                 spans=None, log=None) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self.fleet = fleet
@@ -87,6 +95,8 @@ class Scheduler:
             raise ValueError(
                 f"max_inflight must be >= 1, got {self.max_inflight}")
         self.stats = stats if stats is not None else Stats()
+        self.spans = spans if spans is not None else NULL_SPANS
+        self.log = log if log is not None else NULL_LOG
         # created lazily inside the running loop: on 3.9 asyncio
         # primitives bind their loop at construction time, and the
         # scheduler is built before the service's loop exists
@@ -119,10 +129,15 @@ class Scheduler:
 
     # -- the one public entry ------------------------------------------
     async def submit(self, point,
-                     deadline: Optional[float] = None) -> Dict[str, object]:
+                     deadline: Optional[float] = None,
+                     request_id: Optional[str] = None
+                     ) -> Dict[str, object]:
         """Resolve one point to its response dict
         (``{"key", "payload", "cached", "seconds"}``), coalescing,
-        admitting, computing, and caching as needed."""
+        admitting, computing, and caching as needed.  ``request_id``
+        is pure correlation: it tags this waiter's spans/logs (and,
+        for the first waiter, the pool execution) without ever
+        entering the computation or its cached payload."""
         if self._draining:
             self.stats.inc("serve.rejected.draining")
             raise Draining("service is draining")
@@ -132,18 +147,37 @@ class Scheduler:
         if entry is None:
             # cache-first: warm points bypass admission entirely
             if self.cache is not None:
-                cached = self.cache.get(key)
+                with self.spans.span("cache", "cache.get",
+                                     request_id=request_id, key=key):
+                    cached = self.cache.get(key)
                 if cached is not None:
                     self.stats.inc("serve.cache.hits")
+                    self.spans.instant("cache", "cache.hit",
+                                       request_id=request_id, key=key)
                     return {"key": key, "payload": cached,
                             "cached": True, "seconds": 0.0}
                 self.stats.inc("serve.cache.misses")
             if self._queued >= self.max_queue:
                 self.stats.inc("serve.shed")
+                self.spans.instant("scheduler", "shed",
+                                   request_id=request_id, key=key,
+                                   queue_depth=self._queued)
+                self.log.log("shed", level="warning",
+                             request_id=request_id, key=key,
+                             queue_depth=self._queued)
                 raise QueueFull(self._retry_after())
             entry = self._admit(key, point)
+            if request_id is not None:
+                entry.request_ids.append(request_id)
         else:
             self.stats.inc("serve.coalesced")
+            if request_id is not None:
+                entry.request_ids.append(request_id)
+            self.spans.instant("scheduler", "coalesce.join",
+                               request_id=request_id, key=key,
+                               waiters=entry.waiters + 1)
+            self.log.log("coalesce.join", request_id=request_id,
+                         key=key, waiters=entry.waiters + 1)
 
         entry.waiters += 1
         try:
@@ -176,19 +210,38 @@ class Scheduler:
     async def _run(self, entry: _Entry) -> None:
         if self._sem is None:
             self._sem = asyncio.Semaphore(self.max_inflight)
+        # the first waiter's id tags the whole computation
+        rid = entry.request_ids[0] if entry.request_ids else None
         try:
-            async with self._sem:
+            wait_start = time.perf_counter()
+            with self.spans.span("scheduler", "admission.wait",
+                                 request_id=rid, key=entry.key):
+                await self._sem.acquire()
+            self.stats.hist(
+                "serve.admission.wait.ms",
+                (time.perf_counter() - wait_start) * 1000)
+            try:
                 self._queued -= 1
                 entry.started = True
-                key, payload, seconds = \
-                    await self.fleet.execute(entry.point)
+                with self.spans.span("pool", "pool.execute",
+                                     request_id=rid, key=entry.key):
+                    if rid is not None:
+                        key, payload, seconds = await self.fleet.execute(
+                            entry.point, request_id=rid)
+                    else:
+                        key, payload, seconds = \
+                            await self.fleet.execute(entry.point)
                 self.stats.inc("serve.executed")
                 self.stats.hist("serve.point.seconds", seconds)
                 if self.cache is not None:
-                    self.cache.put(key, entry.point.spec(), payload)
+                    with self.spans.span("cache", "cache.put",
+                                         request_id=rid, key=key):
+                        self.cache.put(key, entry.point.spec(), payload)
                 entry.future.set_result(
                     {"key": key, "payload": payload,
                      "cached": False, "seconds": seconds})
+            finally:
+                self._sem.release()
         except asyncio.CancelledError:
             self.stats.inc("serve.cancelled")
             if not entry.future.done():

@@ -28,15 +28,22 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, Optional, Tuple, Union
 
 from ..common.stats import Stats
+from ..obs.jsonlog import get_logger
+from ..obs.metrics import PROMETHEUS_CONTENT_TYPE
+from ..obs.spans import SpanRecorder
 from ..sim.parallel import ResultCache
 from .ops import (
     TimeSlicer,
+    ensure_request_id,
     healthz_payload,
     install_signal_handlers,
+    metrics_payload,
     stats_payload,
+    tick_forever,
 )
 from .pool import WorkerCrashed, WorkerFleet
 from .protocol import ProtocolError, parse_request
@@ -77,13 +84,23 @@ async def read_http_request(reader: asyncio.StreamReader):
 
 
 async def write_http_response(writer: asyncio.StreamWriter, status: int,
-                              payload: Dict[str, object],
+                              payload: Union[Dict[str, object], str, bytes],
                               extra: Dict[str, str],
                               keep_alive: bool) -> None:
-    """Serialize one JSON response (shared with the cluster router)."""
-    blob = json.dumps(payload).encode("utf-8")
+    """Serialize one response (shared with the cluster router).
+
+    A dict payload is sent as JSON; a ``str``/``bytes`` payload is
+    sent verbatim as text — how ``/metrics`` serves its Prometheus
+    exposition text through the same JSON-era plumbing."""
+    if isinstance(payload, (str, bytes)):
+        blob = payload.encode("utf-8") if isinstance(payload, str) \
+            else payload
+        content_type = PROMETHEUS_CONTENT_TYPE
+    else:
+        blob = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-             "Content-Type: application/json",
+             f"Content-Type: {content_type}",
              f"Content-Length: {len(blob)}",
              f"Connection: {'keep-alive' if keep_alive else 'close'}"]
     lines.extend(f"{name}: {value}" for name, value in extra.items())
@@ -109,13 +126,17 @@ class ServeService:
         self.node_id = node_id    # cluster identity; None = standalone
         self.default_deadline = default_deadline
         self.stats = Stats()
+        self.spans = SpanRecorder(
+            f"serve:{node_id}" if node_id else "serve")
+        self.log = get_logger()
         self.fleet = WorkerFleet(jobs=jobs, stats=self.stats)
         cache = (ResultCache(cache_dir, max_bytes=cache_max_bytes)
                  if cache_dir is not None else None)
         self.scheduler = Scheduler(self.fleet, cache=cache,
                                    max_queue=max_queue,
                                    max_inflight=max_inflight,
-                                   stats=self.stats)
+                                   stats=self.stats,
+                                   spans=self.spans, log=self.log)
         self.slicer = TimeSlicer(epoch_ms=epoch_ms)
         self.slicer.add_probe("queue_depth",
                               lambda: self.scheduler.queue_depth)
@@ -150,12 +171,17 @@ class ServeService:
         self.bound_port = server.sockets[0].getsockname()[1]
         if install_signals:
             install_signal_handlers(self._loop, self._shutdown.set)
-        ticker = asyncio.create_task(self._tick_forever())
+        ticker = asyncio.create_task(tick_forever(self.slicer))
         if self._ready_callback is not None:
             self._ready_callback(self.bound_port)
+        self.log.log("serve.ready", host=self.host,
+                     port=self.bound_port)
         try:
             await self._shutdown.wait()
         finally:
+            self.log.log("serve.drain.begin",
+                         queue_depth=self.scheduler.queue_depth,
+                         inflight=self.scheduler.inflight)
             server.close()
             await server.wait_closed()
             await self.scheduler.drain()
@@ -174,11 +200,9 @@ class ServeService:
             except asyncio.CancelledError:
                 pass
             self.fleet.shutdown()
-
-    async def _tick_forever(self) -> None:
-        while True:
-            await asyncio.sleep(self.slicer.epoch_ms / 1000.0)
-            self.slicer.tick()
+            self.log.log("serve.stop",
+                         uptime_seconds=round(
+                             self.slicer.uptime_seconds, 3))
 
     # -- HTTP ----------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -195,7 +219,7 @@ class ServeService:
                 self._busy.add(task)
                 try:
                     status, payload, extra = await self._dispatch(
-                        method, target, body)
+                        method, target, body, headers)
                 finally:
                     self._busy.discard(task)
                 self.stats.inc(f"serve.http.{status}")
@@ -222,7 +246,8 @@ class ServeService:
         await write_http_response(writer, status, payload, extra,
                                   keep_alive)
 
-    async def _dispatch(self, method: str, target: str, body: bytes
+    async def _dispatch(self, method: str, target: str, body: bytes,
+                        headers: Optional[Dict[str, str]] = None
                         ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
         target = target.split("?", 1)[0]
         if target == "/healthz":
@@ -233,14 +258,48 @@ class ServeService:
             if method != "GET":
                 return 405, {"error": "use GET"}, {}
             return 200, stats_payload(self), {}
+        if target == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}, {}
+            return 200, metrics_payload(self), {}
+        if target == "/trace":
+            if method != "GET":
+                return 405, {"error": "use GET"}, {}
+            return 200, self.spans.chrome_trace(), {}
         if target == "/v1/points":
             if method != "POST":
                 return 405, {"error": "use POST"}, {}
-            return await self._submit(body)
+            return await self._submit(body, ensure_request_id(headers))
         return 404, {"error": f"no such endpoint {target!r}"}, {}
 
-    async def _submit(self, body: bytes
+    async def _submit(self, body: bytes,
+                      request_id: Optional[str] = None
                       ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        if request_id is None:
+            request_id = ensure_request_id()
+        started = time.perf_counter()
+        with self.spans.span("http", "serve.request",
+                             request_id=request_id) as span:
+            status, result, extra = await self._submit_inner(
+                body, request_id)
+            span["status"] = status
+            if "key" in result:
+                span["key"] = result["key"]
+        self.stats.hist("serve.request.ms",
+                        (time.perf_counter() - started) * 1000)
+        result = dict(result)
+        result["request_id"] = request_id
+        extra = dict(extra)
+        extra["X-Request-Id"] = request_id
+        self.log.log("request", request_id=request_id, status=status,
+                     key=result.get("key"),
+                     cached=result.get("cached"),
+                     error=result.get("error"))
+        return status, result, extra
+
+    async def _submit_inner(self, body: bytes, request_id: str
+                            ) -> Tuple[int, Dict[str, object],
+                                       Dict[str, str]]:
         try:
             data = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, ValueError):
@@ -253,7 +312,8 @@ class ServeService:
                     else self.default_deadline)
         try:
             result = await self.scheduler.submit(request.point,
-                                                 deadline=deadline)
+                                                 deadline=deadline,
+                                                 request_id=request_id)
         except QueueFull as error:
             return 503, {"error": str(error),
                          "retry_after": error.retry_after}, \
@@ -279,9 +339,15 @@ def serve_forever(host: str = "127.0.0.1", port: int = 7341,
                   max_inflight: Optional[int] = None,
                   cache_max_bytes: Optional[int] = None,
                   node_id: Optional[str] = None,
-                  announce=None) -> int:
+                  announce=None, log_json: bool = False) -> int:
     """Blocking entry point for ``repro serve``: build a service, run
-    it until SIGTERM/SIGINT, drain, and return 0."""
+    it until SIGTERM/SIGINT, drain, and return 0.  ``log_json``
+    switches the process (and its forked pool workers) to structured
+    one-JSON-object-per-line logs (:mod:`repro.obs.jsonlog`)."""
+    if log_json:
+        from ..obs import jsonlog
+        jsonlog.enable(node_id=node_id)
+
     def ready(bound_port: int) -> None:
         if announce is not None:
             announce(bound_port)

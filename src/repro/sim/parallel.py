@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..common.config import MachineConfig, config_fingerprint
 from ..common.stats import Stats
+from ..obs.jsonlog import get_logger
 from .runner import SimulationResult, run_experiment
 
 #: Bump whenever the timing model or a result schema changes in a way
@@ -358,16 +359,29 @@ POINT_KINDS = {cls.kind: cls for cls in (ExperimentPoint, RunLengthPoint,
                                          LitmusPoint)}
 
 
-def execute_point(point) -> Tuple[str, Dict[str, object], float]:
+def execute_point(point,
+                  request_id: Optional[str] = None
+                  ) -> Tuple[str, Dict[str, object], float]:
     """Run one experiment point: returns ``(key, payload, seconds)``.
 
     The single point-execution entry shared by the batch engine's
     workers and the serving layer's worker fleet (:mod:`repro.serve`).
     Module-level so it pickles; the point dataclasses carry everything
-    a worker needs (config included) and regenerate traces locally."""
+    a worker needs (config included) and regenerate traces locally.
+
+    ``request_id`` never influences the computation or the payload —
+    it only stamps the structured ``point.executed`` log record (when
+    JSON logging is enabled; see :mod:`repro.obs.jsonlog`), closing
+    the correlation chain from an ``X-Request-Id`` at the front door
+    to the engine point that computed the answer."""
     start = time.perf_counter()
     payload = point.execute()
-    return point.key, payload, time.perf_counter() - start
+    seconds = time.perf_counter() - start
+    log = get_logger()
+    if log.enabled:
+        log.log("point.executed", request_id=request_id, key=point.key,
+                kind=point.kind, seconds=round(seconds, 6))
+    return point.key, payload, seconds
 
 
 # ---------------------------------------------------------------------------
@@ -572,14 +586,24 @@ class ExperimentEngine:
 
     def summary(self) -> str:
         """One-line run summary (the CLI prints this to stderr; the CI
-        smoke job greps ``hits=`` out of it)."""
+        smoke job greps ``hits=`` out of it).  With a cache configured
+        the store's own view rides along — the same
+        ``store_hits``/``store_misses``/``evictions`` counters the
+        serve tier publishes on ``/stats``, so batch and served runs
+        report cache effectiveness in one vocabulary."""
         counter = self.stats.counter
         wall = self.stats.summary("engine.batch.seconds").total
-        return (f"engine: jobs={self.jobs} "
+        line = (f"engine: jobs={self.jobs} "
                 f"points={counter('engine.points'):.0f} "
                 f"hits={counter('engine.cache.hits'):.0f} "
                 f"executed={counter('engine.executed'):.0f} "
                 f"wall={wall:.2f}s")
+        if self.cache is not None:
+            line += (f" cache[store_hits={self.cache.hits} "
+                     f"store_misses={self.cache.misses} "
+                     f"evictions={self.cache.evictions} "
+                     f"entries={len(self.cache)}]")
+        return line
 
     # -- execution -----------------------------------------------------
     def _execute(self, pending: List) -> List[Tuple[str, Dict[str, object],

@@ -197,6 +197,7 @@ class StubNode:
         self.ready = ready
         self.stats_payload = stats_payload or {}
         self.point_requests = []
+        self.point_headers = []      # lowercased, one dict per POST
         self.server = None
         self.port = None
 
@@ -219,9 +220,10 @@ class StubNode:
                 request = await read_http_request(reader)
                 if request is None:
                     break
-                method, target, _headers, body = request
+                method, target, headers, body = request
                 status, payload, extra = await self._respond(
-                    method, target.split("?", 1)[0], body)
+                    method, target.split("?", 1)[0], body,
+                    headers=headers)
                 await write_http_response(writer, status, payload,
                                           extra, keep_alive=True)
         except (asyncio.IncompleteReadError, ConnectionError,
@@ -230,13 +232,14 @@ class StubNode:
         finally:
             writer.close()
 
-    async def _respond(self, method, target, body):
+    async def _respond(self, method, target, body, headers=None):
         if target == "/healthz":
             return 200, {"status": "ok", "live": True,
                          "ready": self.ready}, {}
         if target == "/stats":
             return 200, self.stats_payload, {}
         self.point_requests.append(body)
+        self.point_headers.append(dict(headers or {}))
         behavior = (self.behaviors.pop(0) if self.behaviors
                     else self.default)
         if behavior[0] == "gate":
@@ -579,3 +582,147 @@ class TestClusterChaosAcceptance:
         actions = [action.action for action in report.plan]
         assert actions == ["kill", "restart"]
         assert 0 < report.plan[0].after_request < len(specs)
+
+
+# ---------------------------------------------------------------------------
+# observability: request-id forwarding, /metrics, /trace
+# ---------------------------------------------------------------------------
+async def _post_with_id(router, spec, request_id):
+    body = json.dumps(spec).encode("utf-8")
+    return await request_json(
+        "127.0.0.1", router.bound_port, "POST", "/v1/points", body,
+        timeout=10.0, headers={"X-Request-Id": request_id})
+
+
+class TestRouterObservability:
+    def test_request_id_forwarded_across_failover_hops(self):
+        async def scenario():
+            stubs = [await StubNode().start() for _ in range(2)]
+            infos = [stub.info(f"node{i}")
+                     for i, stub in enumerate(stubs)]
+            router, task = await _start_router(infos, replication=2)
+            try:
+                key = parse_request(SPEC).key
+                order = router.candidates(key)
+                by_id = dict(zip([info.node_id for info in infos],
+                                 stubs))
+                by_id[order[0]].behaviors = [("shed", 0)]
+                status, headers, payload = await _post_with_id(
+                    router, SPEC, "hop-req-3")
+                assert status == 200
+                assert payload["node"] == order[1]
+                assert payload["request_id"] == "hop-req-3"
+                assert headers["x-request-id"] == "hop-req-3"
+                # both the shedding home and the fallback saw the id
+                for stub in stubs:
+                    assert [h.get("x-request-id")
+                            for h in stub.point_headers] == ["hop-req-3"]
+            finally:
+                await _stop_router(router, task)
+                for stub in stubs:
+                    await stub.stop()
+        run_async(scenario())
+
+    def test_request_id_generated_when_absent(self):
+        async def scenario():
+            stub = await StubNode().start()
+            router, task = await _start_router(
+                [stub.info("only")], replication=1)
+            try:
+                status, _headers, payload = await _post(router, SPEC)
+                assert status == 200
+                rid = payload["request_id"]
+                assert isinstance(rid, str) and len(rid) == 32
+                assert stub.point_headers[0]["x-request-id"] == rid
+            finally:
+                await _stop_router(router, task)
+                await stub.stop()
+        run_async(scenario())
+
+    def test_coalesced_waiters_answer_with_their_own_ids(self):
+        async def scenario():
+            gate = asyncio.Event()
+            stub = await StubNode(behaviors=[("gate", gate)]).start()
+            router, task = await _start_router(
+                [stub.info("only")], replication=1)
+            try:
+                first = asyncio.create_task(
+                    _post_with_id(router, SPEC, "leader-id"))
+                while not router._inflight:
+                    await asyncio.sleep(0.005)
+                second = asyncio.create_task(
+                    _post_with_id(router, SPEC, "rider-id"))
+                while router.stats.counter("cluster.coalesced") < 1:
+                    await asyncio.sleep(0.005)
+                gate.set()
+                (s1, _h1, p1), (s2, _h2, p2) = await asyncio.gather(
+                    first, second)
+                assert (s1, s2) == (200, 200)
+                assert {p1["request_id"], p2["request_id"]} == \
+                    {"leader-id", "rider-id"}
+                assert len(stub.point_requests) == 1   # still one forward
+            finally:
+                await _stop_router(router, task)
+                await stub.stop()
+        run_async(scenario())
+
+    def test_router_metrics_exposes_own_and_fleet_families(self):
+        from repro.obs import parse_prometheus
+        async def scenario():
+            stub = await StubNode(stats_payload={
+                "counters": {"serve.executed": 5, "lat.mean": 2.0}
+            }).start()
+            router, task = await _start_router(
+                [stub.info("only")], replication=1)
+            try:
+                await _post(router, SPEC)
+                status, headers, payload = await request_json(
+                    "127.0.0.1", router.bound_port, "GET", "/metrics",
+                    timeout=10.0)
+                assert status == 200
+                assert "0.0.4" in headers["content-type"]
+                text = payload["error"]     # non-JSON body passthrough
+                families = parse_prometheus(text)
+                own = families["repro_cluster_http_200_total"]
+                (_n, labels, _v) = own["samples"][0]
+                assert labels["role"] == "router"
+                assert families["repro_fleet_serve_executed_total"][
+                    "samples"][0][2] == 5
+                # non-additive sample derivatives never become counters
+                assert not any("lat_mean" in name for name in families)
+                assert "repro_ready_nodes" in families
+                assert "repro_fleet_reachable_nodes" in families
+            finally:
+                await _stop_router(router, task)
+                await stub.stop()
+        run_async(scenario())
+
+    def test_router_trace_validates_and_correlates(self):
+        from repro.obs import validate_chrome_trace
+        async def scenario():
+            stub = await StubNode().start()
+            router, task = await _start_router(
+                [stub.info("only")], replication=1)
+            try:
+                await _post_with_id(router, SPEC, "trace-req-77")
+                status, _headers, trace = await request_json(
+                    "127.0.0.1", router.bound_port, "GET", "/trace",
+                    timeout=10.0)
+                assert status == 200
+                assert validate_chrome_trace(trace) == []
+                tagged = {event["name"]
+                          for event in trace["traceEvents"]
+                          if event.get("args", {}).get("request_id")
+                          == "trace-req-77"}
+                assert "route" in tagged
+                assert "forward" in tagged
+                forward = [event for event in trace["traceEvents"]
+                           if event["name"] == "forward"
+                           and event.get("args", {}).get("request_id")
+                           == "trace-req-77"]
+                assert forward[0]["args"]["node"] == "only"
+                assert forward[0]["args"]["status"] == 200
+            finally:
+                await _stop_router(router, task)
+                await stub.stop()
+        run_async(scenario())

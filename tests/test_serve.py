@@ -175,7 +175,7 @@ class GatedFleet:
         self.calls = 0
         self.gate = asyncio.Event()
 
-    async def execute(self, point):
+    async def execute(self, point, request_id=None):
         self.calls += 1
         await self.gate.wait()
         return point.key, {"total_cycles": self.calls}, 0.01
@@ -776,3 +776,127 @@ class TestStatsCacheCounters:
         assert cache["store_hits"] >= 1
         assert cache["evictions"] == 0         # uncapped fixture cache
         assert cache["configured"] is True
+
+
+# ---------------------------------------------------------------------------
+# observability: request ids, spans, /metrics, /trace
+# ---------------------------------------------------------------------------
+class RecordingFleet:
+    """Async fleet that records the request_id the scheduler handed it."""
+
+    jobs = 2
+
+    def __init__(self):
+        self.request_ids = []
+
+    async def execute(self, point, request_id=None):
+        self.request_ids.append(request_id)
+        return point.key, {"total_cycles": 1}, 0.01
+
+
+class TestRequestCorrelation:
+    def test_supplied_request_id_round_trips(self, service):
+        _svc, client, _cache = service
+        response = client.submit(SPEC, request_id="corr-req-1")
+        assert response["request_id"] == "corr-req-1"
+
+    def test_generated_request_id_when_absent(self, service):
+        _svc, client, _cache = service
+        response = client.submit(SPEC)
+        rid = response["request_id"]
+        assert isinstance(rid, str) and len(rid) == 32
+        assert all(ch in "0123456789abcdef" for ch in rid)
+
+    def test_response_header_carries_request_id(self, service):
+        _svc, client, _cache = service
+        status, headers, payload = client._request(
+            "POST", "/v1/points", body=SPEC,
+            headers={"X-Request-Id": "hdr-req-9"})
+        assert status == 200
+        assert headers["x-request-id"] == "hdr-req-9"
+        assert payload["request_id"] == "hdr-req-9"
+
+    def test_malformed_request_id_is_replaced_not_rejected(self, service):
+        _svc, client, _cache = service
+        status, _headers, payload = client._request(
+            "POST", "/v1/points", body=SPEC,
+            headers={"X-Request-Id": "bad id with spaces\x01"})
+        assert status == 200
+        assert payload["request_id"] != "bad id with spaces\x01"
+        assert len(payload["request_id"]) == 32
+
+    def test_request_id_never_reaches_payload_or_key(self, service):
+        _svc, client, _cache = service
+        spec = dict(SPEC, seed=616)
+        first = client.submit(spec, request_id="id-one")
+        second = client.submit(spec, request_id="id-two")
+        assert first["key"] == second["key"]
+        assert json.dumps(first["payload"]) == \
+            json.dumps(second["payload"])
+        assert "request_id" not in first["payload"]
+
+    def test_scheduler_hands_request_id_to_fleet(self):
+        async def scenario():
+            fleet = RecordingFleet()
+            scheduler = Scheduler(fleet, max_queue=8)
+            await scheduler.submit(_point(seed=90), request_id="sched-1")
+            return fleet.request_ids
+
+        assert run_async(scenario()) == ["sched-1"]
+
+    def test_coalesced_waiters_all_tagged_on_entry(self):
+        async def scenario():
+            fleet = GatedFleet()
+            scheduler = Scheduler(fleet, max_queue=8)
+            first = asyncio.create_task(
+                scheduler.submit(_point(seed=91), request_id="lead"))
+            while fleet.calls == 0:
+                await asyncio.sleep(0)
+            entry = next(iter(scheduler._entries.values()))
+            second = asyncio.create_task(
+                scheduler.submit(_point(seed=91), request_id="rider"))
+            await asyncio.sleep(0)
+            ids = list(entry.request_ids)
+            fleet.gate.set()
+            await asyncio.gather(first, second)
+            return ids
+
+        assert run_async(scenario()) == ["lead", "rider"]
+
+
+class TestServeObservability:
+    def test_metrics_endpoint_strict_parses(self, service):
+        from repro.obs import parse_prometheus
+        svc, client, _cache = service
+        client.submit(SPEC)
+        text = client.metrics()
+        families = parse_prometheus(text)
+        assert "repro_serve_http_200_total" in families
+        assert families["repro_serve_request_ms"]["type"] == "histogram"
+        assert "repro_queue_depth" in families
+        assert "repro_cache_entries" in families
+        node_label = svc.node_id
+        if node_label:
+            (_n, labels, _v) = \
+                families["repro_queue_depth"]["samples"][0]
+            assert labels["node"] == node_label
+
+    def test_trace_endpoint_validates_and_correlates(self, service):
+        from repro.obs import validate_chrome_trace
+        _svc, client, _cache = service
+        spec = dict(SPEC, seed=5150)
+        client.submit(spec, request_id="trace-req-5")
+        trace = client.trace()
+        assert validate_chrome_trace(trace) == []
+        tagged = {event["name"]
+                  for event in trace["traceEvents"]
+                  if event.get("args", {}).get("request_id")
+                  == "trace-req-5"}
+        assert "serve.request" in tagged
+        assert "pool.execute" in tagged
+
+    def test_admission_wait_histogram_recorded(self, service):
+        svc, client, _cache = service
+        client.submit(SPEC)
+        assert svc.stats.histogram("serve.admission.wait.ms").count >= 1
+        assert svc.stats.histogram("serve.request.ms").count >= 1

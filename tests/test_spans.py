@@ -1,0 +1,197 @@
+"""Wall-clock span recorder, trace merging, and structured logs."""
+
+import io
+import json
+
+from repro.obs import (NULL_LOG, NULL_SPANS, JsonLogger, NullSpanRecorder,
+                       SpanRecorder, merge_chrome_traces,
+                       validate_chrome_trace)
+from repro.obs import jsonlog
+
+import pytest
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSpanRecorder:
+    def test_span_records_complete_event_with_request_id(self):
+        clock = FakeClock()
+        spans = SpanRecorder("serve:n0", clock=clock)
+        with spans.span("scheduler", "admission.wait",
+                        request_id="req-1", key="k"):
+            clock.advance(0.25)        # binary-exact: no float jitter
+        (event,) = spans.events()
+        assert event["name"] == "admission.wait"
+        assert event["pid"] == "serve:n0"
+        assert event["tid"] == "scheduler"
+        assert event["ts"] == 0
+        assert event["dur"] == 250000          # 250 ms in microseconds
+        assert event["args"]["request_id"] == "req-1"
+        assert event["args"]["key"] == "k"
+
+    def test_annotations_set_inside_block_land_in_args(self):
+        spans = SpanRecorder("router", clock=FakeClock())
+        with spans.span("route", "route", request_id="r") as span:
+            span["status"] = 200
+            span["node"] = "node1"
+        (event,) = spans.events()
+        assert event["args"]["status"] == 200
+        assert event["args"]["node"] == "node1"
+        assert event["args"]["request_id"] == "r"
+
+    def test_span_records_even_when_block_raises(self):
+        spans = SpanRecorder("router", clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with spans.span("route", "route") as span:
+                span["outcome"] = "boom"
+                raise RuntimeError("boom")
+        (event,) = spans.events()
+        assert event["args"]["outcome"] == "boom"
+
+    def test_instant_event(self):
+        clock = FakeClock()
+        spans = SpanRecorder("serve:n0", clock=clock)
+        clock.advance(0.5)
+        spans.instant("cache", "cache.hit", request_id="q", key="k")
+        (event,) = spans.events()
+        assert event["ph"] == "i"
+        assert event["ts"] == 500000
+        assert event["args"]["request_id"] == "q"
+
+    def test_chrome_trace_validates_and_names_process(self):
+        spans = SpanRecorder("serve:n0", clock=FakeClock())
+        with spans.span("pool", "pool.execute", request_id="x"):
+            pass
+        spans.instant("cache", "cache.hit")
+        trace = spans.chrome_trace()
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["clock"] == "us"
+        assert trace["otherData"]["process"] == "serve:n0"
+
+    def test_ring_is_bounded(self):
+        spans = SpanRecorder("p", capacity=8, clock=FakeClock())
+        for index in range(50):
+            spans.instant("t", f"e{index}")
+        events = spans.events()
+        assert len(events) == 8
+        assert events[-1]["name"] == "e49"   # newest kept
+
+    def test_null_recorder_is_inert(self):
+        assert NULL_SPANS.enabled is False
+        with NULL_SPANS.span("t", "n", request_id="r") as span:
+            span["status"] = 200     # accepted, discarded
+        NULL_SPANS.instant("t", "n")
+        assert isinstance(NULL_SPANS, NullSpanRecorder)
+
+
+class TestMergeChromeTraces:
+    def _trace(self, process, tid, name):
+        spans = SpanRecorder(process, clock=FakeClock())
+        with spans.span(tid, name):
+            pass
+        return spans.chrome_trace()
+
+    def test_merged_pids_are_disjoint_and_trace_validates(self):
+        first = self._trace("router", "route", "route")
+        second = self._trace("serve:n0", "scheduler", "admission.wait")
+        merged = merge_chrome_traces(first, second)
+        assert validate_chrome_trace(merged) == []
+        by_process = {}
+        for event in merged["traceEvents"]:
+            if event.get("ph") == "M" and event["name"] == "process_name":
+                by_process[event["args"]["name"]] = event["pid"]
+        assert len(by_process) == 2
+        assert len(set(by_process.values())) == 2
+
+    def test_inputs_are_not_mutated(self):
+        first = self._trace("a", "t", "x")
+        second = self._trace("b", "t", "y")
+        before = json.dumps(second, sort_keys=True)
+        merge_chrome_traces(first, second)
+        assert json.dumps(second, sort_keys=True) == before
+
+    def test_merge_records_clocks(self):
+        first = self._trace("a", "t", "x")
+        merged = merge_chrome_traces(first)
+        assert merged["otherData"]["merged"] == 1
+        assert merged["otherData"]["clocks"] == ["us"]
+
+    def test_rejects_malformed_inputs(self):
+        with pytest.raises(ValueError):
+            merge_chrome_traces([])
+        with pytest.raises(ValueError):
+            merge_chrome_traces({"otherData": {}})
+
+
+class TestJsonLogger:
+    def test_line_shape_and_field_order(self):
+        out = io.StringIO()
+        log = JsonLogger(stream=out, node_id="n0", clock=lambda: 5.0)
+        log.log("request", request_id="abc", status=200, key="k")
+        line = out.getvalue()
+        assert line.endswith("\n")
+        assert json.loads(line) == {"ts": 5.0, "level": "info",
+                                    "event": "request", "node_id": "n0",
+                                    "request_id": "abc", "key": "k",
+                                    "status": 200}
+        # event-specific fields are emitted key-sorted (byte-stable)
+        assert line.index('"key"') < line.index('"status"')
+
+    def test_optional_fields_omitted_when_unknown(self):
+        out = io.StringIO()
+        JsonLogger(stream=out, clock=lambda: 1.0).log("boot")
+        record = json.loads(out.getvalue())
+        assert "node_id" not in record
+        assert "request_id" not in record
+
+    def test_level_passes_through(self):
+        out = io.StringIO()
+        JsonLogger(stream=out, clock=lambda: 1.0).log(
+            "shed", level="warning", queue_depth=9)
+        assert json.loads(out.getvalue())["level"] == "warning"
+
+    def test_non_serializable_fields_stringify(self):
+        out = io.StringIO()
+        JsonLogger(stream=out, clock=lambda: 1.0).log(
+            "oops", error=RuntimeError("x"))
+        assert json.loads(out.getvalue())["error"] == "x"
+
+
+class TestProcessLogger:
+    def test_default_is_disabled(self, monkeypatch):
+        monkeypatch.setattr(jsonlog, "_process_logger", None)
+        monkeypatch.delenv(jsonlog.ENV_FLAG, raising=False)
+        assert jsonlog.get_logger() is NULL_LOG
+        assert jsonlog.get_logger().enabled is False
+
+    def test_enable_installs_and_exports_env(self, monkeypatch):
+        monkeypatch.setattr(jsonlog, "_process_logger", None)
+        monkeypatch.delenv(jsonlog.ENV_FLAG, raising=False)
+        monkeypatch.delenv(jsonlog.ENV_NODE_ID, raising=False)
+        try:
+            logger = jsonlog.enable(node_id="n7", stream=io.StringIO())
+            assert jsonlog.get_logger() is logger
+            import os
+            assert os.environ[jsonlog.ENV_FLAG] == "1"
+            assert os.environ[jsonlog.ENV_NODE_ID] == "n7"
+        finally:
+            jsonlog.disable()
+        assert jsonlog.get_logger().enabled is False
+
+    def test_env_flag_lazily_constructs_worker_logger(self, monkeypatch):
+        monkeypatch.setattr(jsonlog, "_process_logger", None)
+        monkeypatch.setenv(jsonlog.ENV_FLAG, "1")
+        monkeypatch.setenv(jsonlog.ENV_NODE_ID, "node3")
+        logger = jsonlog.get_logger()
+        assert logger.enabled
+        assert logger.node_id == "node3"
+        monkeypatch.setattr(jsonlog, "_process_logger", None)
