@@ -8,11 +8,13 @@ Usage (from the repository root)::
     python benchmarks/perf/bench_kernel.py --update      # rewrite baseline
     python benchmarks/perf/bench_kernel.py --full --kernels wheel heap
 
-``--update`` runs the full point set under both kernels and rewrites
-``benchmarks/perf/BENCH_kernel.json`` — commit the diff together with
-whatever change moved the numbers.  ``--check`` (the CI perf-smoke
-job) runs the smoke points under the default wheel kernel and fails if
-normalized events/sec regresses more than the tolerance on any point.
+``--update`` runs the full point set under every kernel in
+``KERNEL_NAMES`` and rewrites ``benchmarks/perf/BENCH_kernel.json`` —
+commit the diff together with whatever change moved the numbers.
+``--check`` (the CI perf-smoke job) runs the smoke points under every
+committed kernel and fails if the baseline is missing a kernel or if
+normalized events/sec regresses more than the tolerance (default 10%)
+on any point of any kernel.
 """
 
 from __future__ import annotations
@@ -28,14 +30,16 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.bench.kernel import (  # noqa: E402
     BASELINE_PATH,
-    DEFAULT_TOLERANCE,
+    CHECK_TOLERANCE,
     FULL_POINTS,
     SMOKE_POINTS,
     compare_reports,
     format_report,
     load_baseline,
     run_bench,
+    stale_baseline,
 )
+from repro.common.event import KERNEL_NAMES  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -44,28 +48,43 @@ def main(argv=None) -> int:
                         help="all figure points (default: the two smoke "
                              "points)")
     parser.add_argument("--kernels", nargs="+", default=None,
-                        choices=["wheel", "heap"],
+                        choices=list(KERNEL_NAMES),
                         help="kernels to measure (default: wheel; "
-                             "--update measures both)")
+                             "--check and --update measure all of "
+                             "KERNEL_NAMES)")
     parser.add_argument("--repeats", type=int, default=2,
                         help="fresh runs per point, best wall kept")
     parser.add_argument("--tolerance", type=float,
-                        default=DEFAULT_TOLERANCE,
+                        default=CHECK_TOLERANCE,
                         help="allowed normalized events/sec drop for "
                              "--check (default %(default)s)")
     parser.add_argument("--check", action="store_true",
-                        help="fail (exit 1) on regression vs the "
-                             "committed baseline")
+                        help="fail (exit 1) on a stale baseline or a "
+                             "regression vs it, for every committed "
+                             "kernel")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the committed baseline from this "
-                             "run (implies --full and both kernels)")
+                             "run (implies --full and all kernels)")
     args = parser.parse_args(argv)
 
     if args.update:
-        points, kernels = FULL_POINTS, ("wheel", "heap")
+        points, kernels = FULL_POINTS, KERNEL_NAMES
     else:
         points = FULL_POINTS if args.full else SMOKE_POINTS
-        kernels = tuple(args.kernels or ("wheel",))
+        if args.kernels:
+            kernels = tuple(args.kernels)
+        else:
+            kernels = KERNEL_NAMES if args.check else ("wheel",)
+
+    if args.check:
+        # fail fast on a stale baseline — before spending bench time
+        baseline = load_baseline()
+        stale = stale_baseline(baseline)
+        if stale:
+            print("STALE BASELINE:", file=sys.stderr)
+            for line in stale:
+                print(f"  {line}", file=sys.stderr)
+            return 1
 
     report = run_bench(points, kernels=kernels, repeats=args.repeats)
     print(format_report(report))
@@ -75,7 +94,6 @@ def main(argv=None) -> int:
         print(f"\nbaseline written: {BASELINE_PATH}")
         return 0
     if args.check:
-        baseline = load_baseline()
         failures = []
         keys = [point.key for point in points]
         for kernel in kernels:
@@ -86,7 +104,8 @@ def main(argv=None) -> int:
             for line in failures:
                 print(f"  {line}", file=sys.stderr)
             return 1
-        print(f"\nperf gate passed (tolerance {args.tolerance:.0%})")
+        print(f"\nperf gate passed (tolerance {args.tolerance:.0%}, "
+              f"kernels: {', '.join(kernels)})")
     return 0
 
 

@@ -37,6 +37,10 @@ BASELINE_PATH = (pathlib.Path(__file__).resolve().parents[3]
 #: smoke gate: normalized events/sec may regress at most this fraction
 DEFAULT_TOLERANCE = 0.30
 
+#: ``--check`` gate: per-kernel normalized slowdown bound (tighter than
+#: the opt-in pytest smoke — the driver compares all committed kernels)
+CHECK_TOLERANCE = 0.10
+
 SCHEMA_VERSION = 1
 
 
@@ -157,6 +161,23 @@ def run_bench(points: Sequence[BenchPoint],
 
 def load_baseline(path: Optional[pathlib.Path] = None) -> Dict[str, object]:
     return json.loads((path or BASELINE_PATH).read_text())
+
+
+def stale_baseline(baseline: Dict[str, object]) -> List[str]:
+    """Baseline-freshness check: every kernel in ``KERNEL_NAMES`` must
+    have committed records.
+
+    Without this, a newly added kernel silently escapes ``--check`` —
+    the per-point comparison only looks at kernels the baseline already
+    knows.  Returns human-readable problems (empty = fresh)."""
+    problems = []
+    committed = baseline.get("kernels", {})
+    for kernel in KERNEL_NAMES:
+        if not committed.get(kernel):
+            problems.append(
+                f"baseline has no records for kernel {kernel!r} "
+                "(re-run bench_kernel.py --update)")
+    return problems
 
 
 def compare_reports(baseline: Dict[str, object],

@@ -58,6 +58,16 @@ class WriteOutcome:
     was_upgrade: bool = False
 
 
+#: Shared outcomes for the no-transition hot paths (a hit in a state
+#: the access doesn't change).  Consumers only read outcomes, so the
+#: empty lists inside are never mutated — one allocation for the whole
+#: process instead of one per cache access.
+_SILENT_WRITE = WriteOutcome(was_upgrade=True)
+_FRESH_WRITE = WriteOutcome()
+_SILENT_READS = {state: ReadOutcome(requester_state=state)
+                 for state in CoherenceState}
+
+
 class MesiDirectory:
     """Directory MESI over ``num_cores`` private cache stacks."""
 
@@ -91,7 +101,7 @@ class MesiDirectory:
         current = holders.get(requester, CoherenceState.INVALID)
         if current is not CoherenceState.INVALID:
             # silent hit: no transition
-            return ReadOutcome(requester_state=current)
+            return _SILENT_READS[current]
         if not holders:
             holders[requester] = CoherenceState.EXCLUSIVE
             self.stats.inc("read.exclusive_grants")
@@ -115,10 +125,21 @@ class MesiDirectory:
     def on_write(self, requester: int, line: int) -> WriteOutcome:
         holders = self._lines.setdefault(line, {})
         current = holders.get(requester, CoherenceState.INVALID)
+        if current is CoherenceState.MODIFIED:
+            return _SILENT_WRITE  # already exclusive-dirty: silent
+        others = len(holders)
+        if current is not CoherenceState.INVALID:
+            others -= 1
+        if not others:
+            # nobody to invalidate: I/E/S(sole) → M without allocating
+            holders[requester] = CoherenceState.MODIFIED
+            if current is CoherenceState.INVALID:
+                return _FRESH_WRITE
+            if current is CoherenceState.SHARED:
+                self.stats.inc("write.upgrades")
+            return _SILENT_WRITE
         outcome = WriteOutcome(
             was_upgrade=current is not CoherenceState.INVALID)
-        if current is CoherenceState.MODIFIED:
-            return outcome  # already exclusive-dirty: silent
         for core, state in list(holders.items()):
             if core == requester:
                 continue

@@ -311,8 +311,8 @@ class CacheHierarchy:
                 existing.version = version
                 existing.tx_id = tx_id
             return None
-        return level.insert(line, dirty=dirty, persistent=persistent,
-                            tx_id=tx_id, version=version)
+        return level.array.fill(line, dirty, persistent, False,
+                                tx_id, version)
 
     def _fill_l1(self, core_id, line, version, dirty=False,
                  persistent=False, tx_id=None) -> None:
@@ -349,8 +349,8 @@ class CacheHierarchy:
             existing.pinned = existing.pinned or pinned
             return
         try:
-            victim = self.llc.insert(line, dirty=dirty, persistent=persistent,
-                                     tx_id=tx_id, version=version, pinned=pinned)
+            victim = self.llc.array.fill(line, dirty, persistent, pinned,
+                                         tx_id, version)
         except EvictionImpossible:
             # Kiln pathology: the whole set is pinned.  Bypass the LLC.
             self.stats.inc("llc.bypass")

@@ -13,7 +13,8 @@ class CacheLevel:
     """Thin wrapper binding a :class:`CacheArray` to timing and stats."""
 
     __slots__ = ("name", "config", "stats", "latency", "array",
-                 "_inc", "_k_access", "_k_miss", "_k_hit")
+                 "_inc", "_k_access", "_k_miss", "_k_hit",
+                 "_sets", "_line_size", "_num_sets")
 
     def __init__(
         self,
@@ -32,13 +33,28 @@ class CacheLevel:
         self._k_access = stats.resolve("access")
         self._k_miss = stats.resolve("miss")
         self._k_hit = stats.resolve("hit")
+        # access() is the hottest cache call: keep direct references to
+        # the array internals so a timed lookup is one dict probe
+        self._sets = self.array._sets
+        self._line_size = config.line_size
+        self._num_sets = config.num_sets
 
     def access(self, line: int) -> Optional[CacheLine]:
-        """Timed lookup: counts an access and a hit or miss."""
+        """Timed lookup: counts an access and a hit or miss.
+
+        Inlines :meth:`CacheArray.lookup` (same set index, same LRU
+        touch) — this method runs a few times per simulated memory op.
+        """
         inc = self._inc
         inc(self._k_access)
-        entry = self.array.lookup(line)
-        inc(self._k_miss if entry is None else self._k_hit)
+        entry = self._sets[(line // self._line_size) % self._num_sets].get(line)
+        if entry is None:
+            inc(self._k_miss)
+            return None
+        array = self.array
+        array._use_clock += 1
+        entry.last_use = array._use_clock
+        inc(self._k_hit)
         return entry
 
     def probe(self, line: int) -> Optional[CacheLine]:

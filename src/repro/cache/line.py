@@ -105,11 +105,36 @@ class CacheArray:
         cache_set[line] = entry
         return victim
 
+    def fill(self, line: int, dirty: bool, persistent: bool, pinned: bool,
+             tx_id: Optional[int],
+             version: Optional[Version]) -> Optional[CacheLine]:
+        """Positional insert of a line known to be absent (the caller
+        just looked it up) — the hierarchy's fill path, minus the
+        kwargs packing and existing-entry handling of :meth:`insert`.
+        Returns the evicted victim if any."""
+        cache_set = self._sets[(line // self.line_size) % self.num_sets]
+        victim = None
+        if len(cache_set) >= self.assoc:
+            victim = self._select_victim(cache_set)
+            del cache_set[victim.tag]
+        self._use_clock += 1
+        cache_set[line] = CacheLine(line, dirty, persistent, pinned,
+                                    tx_id, version, self._use_clock)
+        return victim
+
     def _select_victim(self, cache_set: Dict[int, CacheLine]) -> CacheLine:
-        candidates = [entry for entry in cache_set.values() if not entry.pinned]
-        if not candidates:
+        # manual argmin: runs on every fill into a full set, so no
+        # candidate list / key-lambda allocations
+        victim: Optional[CacheLine] = None
+        victim_use = 0
+        for entry in cache_set.values():
+            if not entry.pinned and (victim is None
+                                     or entry.last_use < victim_use):
+                victim = entry
+                victim_use = entry.last_use
+        if victim is None:
             raise EvictionImpossible("all ways pinned")
-        return min(candidates, key=lambda entry: entry.last_use)
+        return victim
 
     def invalidate(self, line: int) -> Optional[CacheLine]:
         """Remove a line; returns it (with its dirty state) if present."""

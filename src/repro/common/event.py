@@ -8,7 +8,7 @@ them in (time, insertion-order) order, so same-cycle events fire in the
 order they were scheduled — a deterministic tie-break that keeps every
 simulation run reproducible.
 
-Two interchangeable kernels implement that contract:
+Three interchangeable kernels implement that contract:
 
 * :class:`Simulator` — the reference implementation, a flat ``heapq``
   of ``(time, seq, fn, args)`` tuples.  Simple, obviously correct, and
@@ -19,10 +19,19 @@ Two interchangeable kernels implement that contract:
   kernel — identical firing order, advance-hook points, and
   ``run(until=..., max_events=...)`` semantics — but cheaper per event
   on the bursty schedules cycle-accurate simulation produces.
+* :class:`ColumnarSimulator` — the timing wheel with columnar bucket
+  storage: each bucket is a flat ``[fn, args, fn, args, ...]`` column
+  (no per-event tuple), with bucket timestamps in a parallel column.
+  It also announces itself via ``columnar = True`` so components
+  (memory controller, transaction cache, compiled traces) switch on
+  their own columnar fast paths — all observationally equivalent, and
+  oracle-checked against the object kernels by the three-way matrix in
+  ``tests/test_kernel_equivalence.py``.
 
 :func:`create_simulator` picks the kernel, honouring the
-``REPRO_SIM_KERNEL`` environment variable (``wheel`` | ``heap``) so a
-whole figure run can be A/B'd between kernels without code changes.
+``REPRO_SIM_KERNEL`` environment variable (``wheel`` | ``heap`` |
+``columnar``) so a whole figure run can be A/B'd between kernels
+without code changes.
 """
 
 from __future__ import annotations
@@ -36,7 +45,7 @@ KERNEL_ENV = "REPRO_SIM_KERNEL"
 #: kernel used when the environment does not say otherwise
 DEFAULT_KERNEL = "wheel"
 #: recognised kernel names, in (default-first) preference order
-KERNEL_NAMES = ("wheel", "heap")
+KERNEL_NAMES = ("wheel", "heap", "columnar")
 
 
 class SimulationError(RuntimeError):
@@ -80,17 +89,20 @@ class Simulator:
     5
     """
 
+    #: True on kernels whose components should switch to their columnar
+    #: fast paths (flat column state, parked-poll scheduler ticks).
+    #: Class attribute so the hot-path probe is a plain attribute read.
+    columnar = False
+
     def __init__(self) -> None:
         self._queue: List[Tuple[int, int, Callable[..., Any], tuple]] = []
-        self._now: int = 0
+        #: current simulation time in cycles — a plain attribute, not a
+        #: property: the clock is read millions of times per run and
+        #: only the kernel writes it
+        self.now: int = 0
         self._seq: int = 0
         self._running = False
         self._on_advance: Optional[Callable[[int], None]] = None
-
-    @property
-    def now(self) -> int:
-        """Current simulation time in cycles."""
-        return self._now
 
     def set_advance_hook(self, hook: Optional[Callable[[int], None]]) -> None:
         """Install ``hook(new_time)``, called whenever the kernel
@@ -112,15 +124,15 @@ class Simulator:
             delay = _as_cycles(delay, "delay")
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} cycles into the past")
-        self.schedule_at(self._now + delay, fn, *args)
+        self.schedule_at(self.now + delay, fn, *args)
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run at absolute ``time``."""
         if type(time) is not int:
             time = _as_cycles(time, "time")
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time}; current time is {self._now}"
+                f"cannot schedule at {time}; current time is {self.now}"
             )
         heapq.heappush(self._queue, (time, self._seq, fn, args))
         self._seq += 1
@@ -134,11 +146,11 @@ class Simulator:
         if not self._queue:
             return False
         time, _seq, fn, args = heapq.heappop(self._queue)
-        if time > self._now and self._on_advance is not None:
-            self._now = time
+        if time > self.now and self._on_advance is not None:
+            self.now = time
             self._on_advance(time)
         else:
-            self._now = time
+            self.now = time
         fn(*args)
         return True
 
@@ -165,8 +177,8 @@ class Simulator:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; probable livelock"
                 )
-        if until is not None and self._now < until:
-            self._now = until
+        if until is not None and self.now < until:
+            self.now = until
         return executed
 
 
@@ -223,7 +235,7 @@ class TimingWheelSimulator(Simulator):
         """Schedule ``fn(*args)`` to run at absolute ``time``."""
         if type(time) is not int:
             time = _as_cycles(time, "time")
-        now = self._now
+        now = self.now
         if time < now:
             raise SimulationError(
                 f"cannot schedule at {time}; current time is {now}"
@@ -256,7 +268,7 @@ class TimingWheelSimulator(Simulator):
         far = self._far
         if not far:
             return
-        horizon = self._now + self._mask
+        horizon = self.now + self._mask
         mask = self._mask
         wheel = self._wheel
         pop = heapq.heappop
@@ -282,7 +294,7 @@ class TimingWheelSimulator(Simulator):
         # So the earliest bucket is the first occupied index at or
         # above idx_now, else the first occupied index from zero —
         # two cheap shift/lsb probes instead of a full-width rotate.
-        idx_now = self._now & self._mask
+        idx_now = self.now & self._mask
         high = occ >> idx_now
         if high:
             idx = idx_now + ((high & -high).bit_length() - 1)
@@ -303,7 +315,7 @@ class TimingWheelSimulator(Simulator):
         """Move the clock to ``time``: migrate newly-near far events,
         then fire the advance hook (matching the reference kernel's
         hook point — after the clock moves, before any callback)."""
-        self._now = time
+        self.now = time
         if self._far:
             self._migrate()
         if self._on_advance is not None:
@@ -316,10 +328,10 @@ class TimingWheelSimulator(Simulator):
             if not self._far:
                 return False
             self._advance_to(self._far[0][0])
-            bucket = self._wheel[self._now & self._mask]
+            bucket = self._wheel[self.now & self._mask]
         else:
             time = bucket[0][0]
-            if time != self._now:
+            if time != self.now:
                 self._advance_to(time)
         entry = bucket.pop(0)
         self._near -= 1
@@ -347,7 +359,7 @@ class TimingWheelSimulator(Simulator):
             # probe a handful of buckets directly (list index + truth
             # test) before paying for the bitmap scan, whose multiword
             # int shifts allocate on every probe.
-            now = self._now
+            now = self.now
             idx_now = now & mask
             bucket = (wheel[idx_now] or wheel[(idx_now + 1) & mask]
                       or wheel[(idx_now + 2) & mask]
@@ -374,7 +386,7 @@ class TimingWheelSimulator(Simulator):
                 break
             if time != now:
                 # inline _advance_to: clock forward, migrate, hook
-                self._now = time
+                self.now = time
                 if far:
                     self._migrate()
                 if self._on_advance is not None:
@@ -407,11 +419,261 @@ class TimingWheelSimulator(Simulator):
                     self._near -= i
                     if not bucket:
                         self._occ &= ~(1 << (time & mask))
-        if until is not None and self._now < until:
+        if until is not None and self.now < until:
             # Match the reference kernel's quiet clock jump (no advance
             # hook), but still migrate so later near-horizon schedules
             # cannot leapfrog older far-future events in bucket order.
-            self._now = until
+            self.now = until
+            self._migrate()
+        return executed
+
+
+class ColumnarSimulator(TimingWheelSimulator):
+    """Timing wheel with columnar bucket storage.
+
+    The object wheel stores one ``(time, seq, fn, args)`` tuple per
+    event.  Two of those fields are redundant inside a bucket: the
+    bucket-uniqueness invariant means every event in a bucket shares
+    one timestamp, and the batched-FIFO invariant means bucket append
+    order *is* (time, seq) order.  So here a bucket is a flat
+    ``[fn, args, fn, args, ...]`` column — no per-event tuple is ever
+    allocated — and bucket timestamps live in one parallel
+    ``_btime`` column indexed by bucket.  Only far-future overflow
+    events (beyond the wheel horizon) still carry ``(time, seq, fn,
+    args)`` tuples, because the heap needs explicit keys; they shed
+    the tuple when they migrate into the wheel.
+
+    Sequence numbers are only assigned to far-heap pushes.  Ordering
+    stays exact: a far event at time T always migrates at the clock
+    advance that brings T inside the horizon, *before* any near event
+    at T can be scheduled (T was outside the horizon until that very
+    advance), so flat append order equals global (time, seq) order.
+
+    Firing order, advance-hook points, ``run(until=...,
+    max_events=...)`` semantics, ``pending()`` counts and final clock
+    values are all identical to the object kernels; the three-way
+    matrix in ``tests/test_kernel_equivalence.py`` holds this to
+    bit-identity.  ``columnar = True`` additionally switches component
+    fast paths (controller parked polls, columnar TC, compiled-trace
+    columns) — each of which preserves the exact event stream and
+    stats of the object path.
+    """
+
+    columnar = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        # parallel column: _btime[i] is the timestamp of bucket i's
+        # events, valid whenever bucket i is non-empty.  _near counts
+        # occupied column *slots* here (two per event), so bucket
+        # drains can subtract raw slot counts.
+        self._btime: List[int] = [0] * self._size
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run at absolute ``time``."""
+        if type(time) is not int:
+            time = _as_cycles(time, "time")
+        now = self.now
+        if time < now:
+            raise SimulationError(
+                f"cannot schedule at {time}; current time is {now}"
+            )
+        mask = self._mask
+        if time - now <= mask:
+            idx = time & mask
+            bucket = self._wheel[idx]
+            if not bucket:
+                self._occ |= 1 << idx
+                self._btime[idx] = time
+            bucket.append(fn)
+            bucket.append(args)
+            self._near += 2
+        else:
+            seq = self._seq
+            self._seq = seq + 1
+            heapq.heappush(self._far, (time, seq, fn, args))
+
+    def schedule_tick(self, time: int, fn: Callable[[], Any]) -> None:
+        """Near-horizon fast append for self-rescheduling tick chains.
+
+        The caller guarantees ``now <= time <= now + horizon`` and an
+        int ``time`` (a chain re-arm is always ``now + small``), so the
+        argument checks and the far-heap branch of :meth:`schedule_at`
+        are skipped.  ``fn`` takes no arguments (chain callbacks read
+        the clock).  Ordering is identical: the pair lands exactly
+        where ``schedule_at`` would have appended it."""
+        idx = time & self._mask
+        bucket = self._wheel[idx]
+        if not bucket:
+            self._occ |= 1 << idx
+            self._btime[idx] = time
+        bucket.append(fn)
+        bucket.append(())
+        self._near += 2
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return (self._near >> 1) + len(self._far)
+
+    def _migrate(self) -> None:
+        """Pull far-future events now inside the wheel horizon into
+        their buckets, shedding the heap tuple into the flat columns."""
+        far = self._far
+        if not far:
+            return
+        horizon = self.now + self._mask
+        mask = self._mask
+        wheel = self._wheel
+        btime = self._btime
+        pop = heapq.heappop
+        while far and far[0][0] <= horizon:
+            time, _seq, fn, args = pop(far)
+            idx = time & mask
+            bucket = wheel[idx]
+            if not bucket:
+                self._occ |= 1 << idx
+                btime[idx] = time
+            bucket.append(fn)
+            bucket.append(args)
+            self._near += 2
+
+    def _earliest_bucket_index(self) -> Optional[int]:
+        """Index of the bucket holding the earliest pending events, or
+        None when the wheel is empty (far heap not consulted — far
+        events are beyond the horizon, hence later than any wheel
+        event)."""
+        occ = self._occ
+        if not occ:
+            return None
+        idx_now = self.now & self._mask
+        high = occ >> idx_now
+        if high:
+            return idx_now + ((high & -high).bit_length() - 1)
+        return (occ & -occ).bit_length() - 1
+
+    def _peek_bucket(self) -> Optional[list]:
+        idx = self._earliest_bucket_index()
+        return None if idx is None else self._wheel[idx]
+
+    def _next_time(self) -> Optional[int]:
+        """Earliest pending timestamp, or None."""
+        idx = self._earliest_bucket_index()
+        if idx is not None:
+            return self._btime[idx]
+        if self._far:
+            return self._far[0][0]
+        return None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if none remain."""
+        idx = self._earliest_bucket_index()
+        if idx is None:
+            if not self._far:
+                return False
+            self._advance_to(self._far[0][0])
+            idx = self.now & self._mask
+        else:
+            time = self._btime[idx]
+            if time != self.now:
+                self._advance_to(time)
+        bucket = self._wheel[idx]
+        fn = bucket[0]
+        args = bucket[1]
+        del bucket[:2]
+        self._near -= 2
+        if not bucket:
+            self._occ &= ~(1 << idx)
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue (same contract as the reference
+        kernel; see :meth:`Simulator.run`).
+
+        Structured like the object wheel's run loop, draining flat
+        ``fn, args`` pairs: the direct 4-bucket probe exploits the fact
+        that a non-empty bucket at index ``(now + k) & mask`` *must*
+        hold time ``now + k`` (the live window covers each residue
+        class exactly once), so the probes need no timestamp reads at
+        all."""
+        executed = 0
+        limit = max_events if max_events is not None else float("inf")
+        mask = self._mask
+        wheel = self._wheel
+        far = self._far
+        btime = self._btime
+        while True:
+            now = self.now
+            idx_now = now & mask
+            time = now
+            bucket = wheel[idx_now]
+            if not bucket:
+                time = now + 1
+                bucket = wheel[(idx_now + 1) & mask]
+                if not bucket:
+                    time = now + 2
+                    bucket = wheel[(idx_now + 2) & mask]
+                    if not bucket:
+                        time = now + 3
+                        bucket = wheel[(idx_now + 3) & mask]
+            if not bucket:
+                # sparse stretch: bitmap scan (see the object wheel)
+                occ = self._occ
+                if occ:
+                    high = occ >> idx_now
+                    if high:
+                        idx = idx_now + ((high & -high).bit_length() - 1)
+                    else:
+                        idx = (occ & -occ).bit_length() - 1
+                    bucket = wheel[idx]
+                    time = btime[idx]
+                elif far:
+                    bucket = None
+                    time = far[0][0]
+                else:
+                    break
+            if until is not None and time > until:
+                break
+            if time != now:
+                # inline _advance_to: clock forward, migrate, hook
+                # (migration head-checked inline — far events beyond
+                # the new horizon are the common case on poll chains)
+                self.now = time
+                if far and far[0][0] <= time + mask:
+                    self._migrate()
+                if self._on_advance is not None:
+                    self._on_advance(time)
+                if bucket is None:
+                    bucket = wheel[time & mask]
+            # Batched same-cycle drain over the flat column; callbacks
+            # may append same-cycle pairs (picked up by the index loop).
+            i = 0
+            n = len(bucket)
+            try:
+                while i < n:
+                    fn = bucket[i]
+                    args = bucket[i + 1]
+                    i += 2
+                    fn(*args)
+                    executed += 1
+                    if executed > limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "probable livelock")
+                    if i == n:
+                        # batch boundary: pick up same-cycle appends
+                        n = len(bucket)
+            finally:
+                if i:
+                    del bucket[:i]
+                    self._near -= i
+                    if not bucket:
+                        self._occ &= ~(1 << (time & mask))
+        if until is not None and self.now < until:
+            # Match the reference kernel's quiet clock jump (no advance
+            # hook), but still migrate so later near-horizon schedules
+            # cannot leapfrog older far-future events in bucket order.
+            self.now = until
             self._migrate()
         return executed
 
@@ -425,17 +687,19 @@ def default_kernel() -> str:
 def create_simulator(kernel: Optional[str] = None) -> Simulator:
     """Build an event kernel.
 
-    ``kernel`` may be ``"wheel"`` (timing wheel, the default) or
-    ``"heap"`` (the heapq reference kernel); when omitted, the
-    ``REPRO_SIM_KERNEL`` environment variable decides.  The two are
-    observationally equivalent — every figure is bit-identical under
-    either — so this is a performance/verification knob, not a
-    modelling one.
+    ``kernel`` may be ``"wheel"`` (timing wheel, the default),
+    ``"heap"`` (the heapq reference kernel) or ``"columnar"`` (the
+    columnar batch kernel); when omitted, the ``REPRO_SIM_KERNEL``
+    environment variable decides.  All three are observationally
+    equivalent — every figure is bit-identical under any of them — so
+    this is a performance/verification knob, not a modelling one.
     """
     name = (kernel or default_kernel()).strip().lower()
     if name == "wheel":
         return TimingWheelSimulator()
     if name == "heap":
         return Simulator()
+    if name == "columnar":
+        return ColumnarSimulator()
     raise SimulationError(
         f"unknown simulator kernel {name!r} (expected one of {KERNEL_NAMES})")

@@ -122,7 +122,13 @@ class Stats:
     # -- counters ----------------------------------------------------
     def inc(self, name: str, amount: float = 1) -> None:
         """Add ``amount`` to counter ``name`` (creating it at 0)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        # hottest single call in the simulator: in-place add on the
+        # existing key beats .get() (no bound-method call); the miss
+        # branch only runs once per counter name
+        try:
+            self._counters[name] += amount
+        except KeyError:
+            self._counters[name] = amount
 
     # -- warning events ----------------------------------------------
     def warn(self, name: str, message: str) -> None:

@@ -1,0 +1,197 @@
+"""Columnar transaction cache: indexed CAM scans for the columnar core.
+
+:class:`ColumnarTransactionCache` is the columnar execution core's
+drop-in replacement for the CAM-FIFO :class:`~repro.core.txcache.
+TransactionCache` (``organization == "cam_fifo"`` only; the set-assoc
+variant has its own geometry).  The object TC realizes every CAM match
+as a linear ring scan — faithful to the hardware, O(occupancy) per
+request.  This subclass keeps the ring (capacity behaviour, FIFO issue
+order, tail sweeping and every stat are inherited unchanged) and adds
+flat lookup indexes so the four hot CAM matches are O(1):
+
+* ``write`` coalesce  — ``(tx_id, tag) → entry`` over ACTIVE entries,
+* ``commit`` / ``drop_transaction`` / ``count_active``
+                      — ``tx_id → [entries]`` in ring (program) order,
+* ``ack``             — ``seq → entry`` (sequence numbers are globally
+                        unique, so an exact match *is* the object
+                        kernel's nearest-tail match),
+* ``probe``           — ``tag → [entries]`` in ring order; the newest
+                        live entry is the last live element.
+
+Why indexes over literal state columns: TC entries are *shared mutable
+objects* — the accelerator holds references across cycles (ack-timeout
+watchdogs mutate ``issue_cycle``/``reissues`` in place) and the scheme
+compares identity.  Flattening tag/state into ``array`` columns would
+force an entry↔slot translation on every boundary crossing; the
+indexes get the same O(1) access over the exact objects the rest of
+the system already holds.  Equivalence with the object TC — identical
+return values, stats, and stall behaviour — is pinned by the
+three-way kernel matrix and the fault-injection differential tests.
+
+Safety argument for index maintenance: every state transition of a
+cam_fifo entry goes through a method of this class (``write``,
+``commit``, ``take_issuable``, ``ack``, ``drop_transaction``); external
+code mutates only ``issue_cycle``/``reissues``/``issued``/``version``,
+none of which any index keys on.  New entries are born ACTIVE, leave
+ACTIVE only via ``commit`` (→ COMMITTED) or ``drop_transaction``
+(→ AVAILABLE), and leave COMMITTED only via ``ack`` (→ AVAILABLE) —
+each site updates the affected indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..common.types import Version, line_addr
+from .txcache import TransactionCache, TxEntry, TxState
+
+
+class ColumnarTransactionCache(TransactionCache):
+    """CAM-FIFO transaction cache with O(1) indexed CAM matches."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: (tx_id, tag) → the ACTIVE entry (unique while coalescing:
+        #: a second insert of the pair only happens after the first
+        #: left ACTIVE)
+        self._active_idx: Dict[Tuple[int, int], TxEntry] = {}
+        #: tx_id → ACTIVE entries, ring (program) order
+        self._active_by_tx: Dict[int, List[TxEntry]] = {}
+        #: seq → live entry (removed when the entry is freed)
+        self._by_seq: Dict[int, TxEntry] = {}
+        #: tag → live entries, ring order (newest last)
+        self._by_tag: Dict[int, List[TxEntry]] = {}
+
+    # ------------------------------------------------------------------
+    def _free(self, entry: TxEntry) -> None:
+        """COMMITTED/ACTIVE → AVAILABLE, with index upkeep."""
+        entry.state = TxState.AVAILABLE
+        self._by_seq.pop(entry.seq, None)
+        tag_list = self._by_tag.get(entry.tag)
+        if tag_list is not None:
+            tag_list.remove(entry)  # identity match (TxEntry has no __eq__)
+            if not tag_list:
+                del self._by_tag[entry.tag]
+
+    # ------------------------------------------------------------------
+    # the four request types, indexed
+    # ------------------------------------------------------------------
+    def write(self, tx_id: int, addr: int, version: Optional[Version]) -> bool:
+        tag = line_addr(addr)
+        if self.config.coalesce_writes:
+            entry = self._active_idx.get((tx_id, tag))
+            if entry is not None:
+                entry.version = version
+                self.stats.inc("write.coalesced")
+                return True
+        if self.is_full():
+            self.stats.inc("write.rejected_full")
+            if self.tracer.enabled:
+                self.tracer.instant("tc", self._track, "write.rejected",
+                                    self._clock(), tx=tx_id)
+            return False
+        seq = self._seq_source() if self._seq_source else self._head_seq
+        entry = TxEntry(seq=seq, tx_id=tx_id, tag=tag, version=version)
+        self._ring.append(entry)
+        self._head_seq += 1
+        if self.config.coalesce_writes:
+            self._active_idx[(tx_id, tag)] = entry
+        self._active_by_tx.setdefault(tx_id, []).append(entry)
+        self._by_seq[seq] = entry
+        self._by_tag.setdefault(tag, []).append(entry)
+        self.stats.inc("write.inserted")
+        if self.tracer.enabled:
+            self._trace_occupancy()
+        return True
+
+    def commit(self, tx_id: int) -> List[TxEntry]:
+        committed = self._active_by_tx.pop(tx_id, [])
+        active_idx = self._active_idx
+        for entry in committed:
+            entry.state = TxState.COMMITTED
+            active_idx.pop((tx_id, entry.tag), None)
+        self.stats.inc("commit.requests")
+        self.stats.inc("commit.entries", len(committed))
+        if self.tracer.enabled:
+            self.tracer.instant("tc", self._track, "commit",
+                                self._clock(), tx=tx_id,
+                                entries=len(committed))
+        return committed
+
+    def ack(self, addr: int, seq: Optional[int] = None) -> Optional[TxEntry]:
+        tag = line_addr(addr)
+        entry: Optional[TxEntry] = None
+        if seq is not None:
+            # exact sequence match — equals the object TC's nearest-tail
+            # scan because sequence numbers are globally unique, and a
+            # stale/duplicate ack finds its seq already unindexed
+            candidate = self._by_seq.get(seq)
+            if (candidate is not None and candidate.tag == tag
+                    and candidate.issued
+                    and candidate.state is TxState.COMMITTED):
+                entry = candidate
+        else:
+            for candidate in self._ring:  # oldest (tail) first
+                if (candidate.tag == tag and candidate.issued
+                        and candidate.state is TxState.COMMITTED):
+                    entry = candidate
+                    break
+        if entry is not None:
+            self._free(entry)
+            self.stats.inc("ack.matched")
+            self._sweep_tail()
+            if self.tracer.enabled:
+                self._trace_occupancy()
+            return entry
+        self.stats.warn(
+            "ack.unmatched",
+            f"unmatched/duplicate NVM ack for line {tag:#x}"
+            + (f" seq {seq}" if seq is not None else "")
+            + " — no entry freed (idempotent drop)")
+        return None
+
+    def probe(self, addr: int) -> Optional[TxEntry]:
+        tag = line_addr(addr)
+        tag_list = self._by_tag.get(tag)
+        if tag_list:
+            # the list holds only live entries in ring order, so the
+            # newest (nearest-head) live entry is simply the last
+            self.stats.inc("probe.hit")
+            return tag_list[-1]
+        self.stats.inc("probe.miss")
+        return None
+
+    # ------------------------------------------------------------------
+    # overflow fall-back + queries
+    # ------------------------------------------------------------------
+    def drop_transaction(self, tx_id: int) -> List[TxEntry]:
+        dropped = self._active_by_tx.pop(tx_id, [])
+        active_idx = self._active_idx
+        for entry in dropped:
+            self._free(entry)
+            active_idx.pop((tx_id, entry.tag), None)
+        self._sweep_tail()
+        self.stats.inc("overflow.dropped_entries", len(dropped))
+        if self.tracer.enabled and dropped:
+            self.tracer.instant("tc", self._track, "overflow.drop",
+                                self._clock(), tx=tx_id, entries=len(dropped))
+            self._trace_occupancy()
+        return dropped
+
+    def count_active(self, tx_id: int) -> int:
+        return len(self._active_by_tx.get(tx_id, ()))
+
+    def check_invariants(self) -> None:
+        """Head/tail invariants plus index↔ring consistency."""
+        super().check_invariants()
+        live = [e for e in self._ring if e.state is not TxState.AVAILABLE]
+        live_ids = {id(e) for e in live}
+        assert {id(e) for e in self._by_seq.values()} <= live_ids, (
+            "seq index holds a freed entry")
+        indexed = [e for entries in self._by_tag.values() for e in entries]
+        assert {id(e) for e in indexed} == live_ids, (
+            "tag index disagrees with the ring's live set")
+        for tx_id, entries in self._active_by_tx.items():
+            for e in entries:
+                assert e.tx_id == tx_id and e.state is TxState.ACTIVE, (
+                    f"active index holds non-active entry {e!r}")

@@ -61,6 +61,7 @@ class Core:
         "committed_transactions", "_handlers", "_issue_width",
         "_inc", "_sample", "_k_stall_prefix", "_k_stall_total",
         "_k_load_latency", "_k_persist_load_latency",
+        "_cur_op", "_cur_issued",
     )
 
     def __init__(
@@ -95,6 +96,12 @@ class Core:
         # stall attribution: the scheme names the reason it is about to
         # delay this core for; the completion helper charges the cycles
         self._stall_reason: Optional[str] = None
+        # the op currently blocking this core and its issue cycle: the
+        # core retires strictly one op at a time, so its completion
+        # callbacks are plain bound methods over these two fields
+        # instead of a fresh closure per load/store/fence
+        self._cur_op: Optional[TraceOp] = None
+        self._cur_issued = 0
         self._tx_begin_cycle = 0
         # headline metrics
         self.instructions_retired = 0
@@ -216,24 +223,25 @@ class Core:
 
     # -- loads ---------------------------------------------------------
     def _do_load(self, op: TraceOp) -> None:
-        issued = self.cycle
+        self._cur_issued = self.cycle
+        self._cur_op = op
+        self.scheme.load(self, op, self._load_complete)
 
-        def complete(latency: int, version) -> None:
-            if self.sim.now == issued:
-                # Synchronous (cache hit): the OoO window hides part of it.
-                cost = max(1, latency - self.config.hide_cycles)
-                self.cycle = issued + cost
-            else:
-                # Memory miss: resumed by the fill event.
-                self.cycle = max(self.sim.now, issued + 1)
-            self._account_stall(issued, "load")
-            self._sample(self._k_load_latency, latency)
-            if op.persistent:
-                self._sample(self._k_persist_load_latency, latency)
-            self.instructions_retired += 1
-            self._advance()
-
-        self.scheme.load(self, op, complete)
+    def _load_complete(self, latency: int, version) -> None:
+        issued = self._cur_issued
+        if self.sim.now == issued:
+            # Synchronous (cache hit): the OoO window hides part of it.
+            cost = max(1, latency - self.config.hide_cycles)
+            self.cycle = issued + cost
+        else:
+            # Memory miss: resumed by the fill event.
+            self.cycle = max(self.sim.now, issued + 1)
+        self._account_stall(issued, "load")
+        self._sample(self._k_load_latency, latency)
+        if self._cur_op.persistent:
+            self._sample(self._k_persist_load_latency, latency)
+        self.instructions_retired += 1
+        self._advance()
 
     # -- stores ----------------------------------------------------------
     def _do_store(self, op: TraceOp) -> None:
@@ -243,18 +251,19 @@ class Core:
             self.stats.inc("stall.store_buffer.events")
             return
         self._sb_tokens -= 1
-        issued = self.cycle
+        self._cur_issued = self.cycle
+        self._cur_op = op
+        self.scheme.store(self, op, self._store_issued, self._store_retired)
 
-        def on_issue(latency: int) -> None:
-            if self.sim.now == issued:
-                self.cycle = issued + max(1, latency)
-            else:
-                self.cycle = max(self.sim.now, issued + 1)
-            self._account_stall(issued, "store_issue")
-            self.instructions_retired += 1
-            self._advance()
-
-        self.scheme.store(self, op, on_issue, self._store_retired)
+    def _store_issued(self, latency: int) -> None:
+        issued = self._cur_issued
+        if self.sim.now == issued:
+            self.cycle = issued + max(1, latency)
+        else:
+            self.cycle = max(self.sim.now, issued + 1)
+        self._account_stall(issued, "store_issue")
+        self.instructions_retired += 1
+        self._advance()
 
     def _store_retired(self, _latency: int) -> None:
         self._sb_tokens += 1
@@ -279,51 +288,49 @@ class Core:
         self.mode_tx = op.tx_id
         self.next_tx_id = (op.tx_id or 0) + 1
         self._tx_begin_cycle = issued
+        self._cur_issued = issued
+        self._cur_op = op
+        self.scheme.tx_begin(self, op, self._tx_begin_resume)
 
-        def resume() -> None:
-            self.cycle = max(self.sim.now, issued + 1)
-            self._account_stall(issued, "commit")
-            self.instructions_retired += 1
-            self._advance()
-
-        self.scheme.tx_begin(self, op, resume)
+    def _tx_begin_resume(self) -> None:
+        issued = self._cur_issued
+        self.cycle = max(self.sim.now, issued + 1)
+        self._account_stall(issued, "commit")
+        self.instructions_retired += 1
+        self._advance()
 
     def _do_tx_end(self, op: TraceOp) -> None:
-        issued = self.cycle
+        self._cur_issued = self.cycle
+        self._cur_op = op
+        self.scheme.tx_end(self, op, self._tx_end_resume)
 
-        def resume() -> None:
-            self.cycle = max(self.sim.now, issued + 1)
-            self._account_stall(issued, "commit")
-            if self.tracer.enabled:
-                self.tracer.complete(
-                    "core", self._track, "tx", self._tx_begin_cycle,
-                    self.cycle - self._tx_begin_cycle, tx=op.tx_id)
-            self.mode_tx = None
-            self.committed_transactions += 1
-            self.instructions_retired += 1
-            self._advance()
-
-        self.scheme.tx_end(self, op, resume)
+    def _tx_end_resume(self) -> None:
+        issued = self._cur_issued
+        self.cycle = max(self.sim.now, issued + 1)
+        self._account_stall(issued, "commit")
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "core", self._track, "tx", self._tx_begin_cycle,
+                self.cycle - self._tx_begin_cycle, tx=self._cur_op.tx_id)
+        self.mode_tx = None
+        self.committed_transactions += 1
+        self.instructions_retired += 1
+        self._advance()
 
     # -- SP instrumentation ops -------------------------------------------
     def _do_clwb(self, op: TraceOp) -> None:
-        issued = self.cycle
-
-        def resume() -> None:
-            self.cycle = max(self.sim.now, issued + 1)
-            self._account_stall(issued, "fence")
-            self.instructions_retired += 1
-            self._advance()
-
-        self.scheme.clwb(self, op, resume)
+        self._cur_issued = self.cycle
+        self._cur_op = op
+        self.scheme.clwb(self, op, self._fence_resume)
 
     def _do_sfence(self, op: TraceOp) -> None:
-        issued = self.cycle
+        self._cur_issued = self.cycle
+        self._cur_op = op
+        self.scheme.sfence(self, op, self._fence_resume)
 
-        def resume() -> None:
-            self.cycle = max(self.sim.now, issued + 1)
-            self._account_stall(issued, "fence")
-            self.instructions_retired += 1
-            self._advance()
-
-        self.scheme.sfence(self, op, resume)
+    def _fence_resume(self) -> None:
+        issued = self._cur_issued
+        self.cycle = max(self.sim.now, issued + 1)
+        self._account_stall(issued, "fence")
+        self.instructions_retired += 1
+        self._advance()

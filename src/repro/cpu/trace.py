@@ -21,6 +21,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from ..common.columns import (
+    count_byte,
+    int_column,
+    masked_count,
+    sum_compute_instructions,
+)
 from ..common.types import Version, is_persistent_addr, line_addr
 
 
@@ -125,16 +131,23 @@ class TraceOp:
 
 
 class CompiledTrace:
-    """Flat parallel arrays over a trace's ops, for the core's retire
-    loop: ``kinds[i]`` is the dense op-type code of ``ops[i]`` and
-    ``counts[i]`` its instruction count.  Scanning two plain int lists
-    is markedly cheaper than touching a Python object per retired op."""
+    """Flat parallel columns over a trace's ops, for the core's retire
+    loop and the trace aggregates: ``kinds[i]`` is the dense op-type
+    code of ``ops[i]`` (an immutable ``bytes`` byte column — indexing
+    returns cached small ints and the buffer is one byte per op),
+    ``counts[i]`` its instruction count (an ``array('q')`` int column),
+    and ``persistent[i]`` its P/V flag (byte column).  Scanning flat
+    columns is markedly cheaper than touching a Python object per
+    retired op, and the aggregate reductions over them run in C (with
+    an optional numpy fast path — see :mod:`repro.common.columns`)."""
 
-    __slots__ = ("kinds", "counts")
+    __slots__ = ("kinds", "counts", "persistent")
 
     def __init__(self, ops: List[TraceOp]) -> None:
-        self.kinds: List[int] = [op.kind for op in ops]
-        self.counts: List[int] = [op.count for op in ops]
+        self.kinds: bytes = bytes(bytearray(op.kind for op in ops))
+        self.counts = int_column(op.count for op in ops)
+        self.persistent: bytes = bytes(
+            bytearray(1 if op.persistent else 0 for op in ops))
 
 
 @dataclass
@@ -145,6 +158,8 @@ class Trace:
     ops: List[TraceOp] = field(default_factory=list)
     _compiled: Optional[CompiledTrace] = field(
         default=None, repr=False, compare=False)
+    #: op count at the last successful validate() (-1: never validated)
+    _validated_len: int = field(default=-1, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -166,18 +181,18 @@ class Trace:
 
     @property
     def instructions(self) -> int:
-        return sum(op.instructions for op in self.ops)
+        compiled = self.compiled()
+        return sum_compute_instructions(compiled.kinds, compiled.counts,
+                                        KIND_COMPUTE)
 
     @property
     def transactions(self) -> int:
-        return sum(1 for op in self.ops if op.op is OpType.TX_END)
+        return count_byte(self.compiled().kinds, KIND_TX_END)
 
     @property
     def persistent_stores(self) -> int:
-        return sum(
-            1 for op in self.ops
-            if op.op is OpType.STORE and op.persistent
-        )
+        compiled = self.compiled()
+        return masked_count(compiled.kinds, KIND_STORE, compiled.persistent)
 
     def validate(self) -> None:
         """Check transaction bracketing and version discipline.
@@ -185,7 +200,15 @@ class Trace:
         Raises ValueError on malformed traces: unbalanced TX markers,
         nested transactions, persistent in-transaction stores without a
         version, or version tx_id mismatching the enclosing transaction.
+
+        A successful pass is memoized by op count: traces are shared
+        across experiment points (and re-validated at system start), so
+        the O(n) sweep runs once per distinct trace, not once per run.
+        Appending ops invalidates the memo; in-place op mutation does
+        not and is unsupported (same contract as :meth:`compiled`).
         """
+        if self._validated_len == len(self.ops):
+            return
         open_tx: Optional[int] = None
         for index, op in enumerate(self.ops):
             if op.op is OpType.TX_BEGIN:
@@ -213,6 +236,7 @@ class Trace:
                         f"!= open tx {open_tx}")
         if open_tx is not None:
             raise ValueError(f"{self.name}: unterminated transaction {open_tx}")
+        self._validated_len = len(self.ops)
 
     def transaction_writes(self) -> Dict[int, List[TraceOp]]:
         """Persistent stores grouped by enclosing transaction id."""

@@ -27,7 +27,8 @@ class RequestQueue:
     """
 
     __slots__ = ("name", "capacity", "entries", "version", "_backlog",
-                 "peak_occupancy", "total_admitted", "total_backlogged")
+                 "_line_counts", "peak_occupancy", "total_admitted",
+                 "total_backlogged")
 
     def __init__(self, name: str, capacity: int) -> None:
         if capacity < 1:
@@ -39,6 +40,10 @@ class RequestQueue:
         #: memoize a failed scan until the queue contents change
         self.version = 0
         self._backlog: Deque[MemRequest] = deque()
+        #: line -> queued-request count (entries + backlog): makes the
+        #: common ``find_line`` miss (read forwarding probe) O(1)
+        #: instead of a scan over up to capacity+backlog requests
+        self._line_counts: dict = {}
         self.peak_occupancy = 0
         self.total_admitted = 0
         self.total_backlogged = 0
@@ -67,6 +72,9 @@ class RequestQueue:
     def push(self, request: MemRequest) -> bool:
         """Add a request.  Returns True if admitted directly, False if
         it had to wait in the backlog."""
+        counts = self._line_counts
+        line = request.line
+        counts[line] = counts.get(line, 0) + 1
         if len(self.entries) >= self.capacity:
             self._backlog.append(request)
             self.total_backlogged += 1
@@ -85,12 +93,21 @@ class RequestQueue:
         """Remove a specific (scheduled) request, then admit backlog."""
         self.entries.remove(request)
         self.version += 1
+        counts = self._line_counts
+        line = request.line
+        remaining = counts[line] - 1
+        if remaining:
+            counts[line] = remaining
+        else:
+            del counts[line]
         backlog = self._backlog
         while backlog and len(self.entries) < self.capacity:
             self._admit(backlog.popleft())
 
     def find_line(self, line: int) -> Optional[MemRequest]:
         """Oldest queued request for ``line`` (backlog included)."""
+        if line not in self._line_counts:
+            return None
         for request in self.entries:
             if request.line == line:
                 return request

@@ -168,15 +168,38 @@ def collect_result(system: System, workload: str = "") -> SimulationResult:
     )
 
 
+# Workload generation is deterministic in (workload, core, seed,
+# operations, params), and nothing downstream mutates a generated
+# trace or its ops (scheme preparation builds *new* traces that share
+# the immutable op objects), so traces can be shared across the
+# schemes of a figure grid instead of regenerated per point.  Bounded:
+# a sweep over many distinct operation counts must not accumulate.
+_TRACE_MEMO: Dict[tuple, tuple] = {}
+_TRACE_MEMO_MAX = 32
+
+
 def make_traces(workload: str, num_cores: int, operations: int,
                 seed: int = 42, **workload_params) -> List[Trace]:
     """One trace per core, from per-core workload instances with
     disjoint heaps and distinct RNG streams."""
-    return [
-        create_workload(workload, core_id=core_id, seed=seed,
-                        **workload_params).generate(operations)
-        for core_id in range(num_cores)
-    ]
+    try:
+        key = (workload, num_cores, operations, seed,
+               tuple(sorted(workload_params.items())))
+        cached = _TRACE_MEMO.get(key)
+    except TypeError:  # unhashable workload param: skip memoization
+        key = None
+        cached = None
+    if cached is None:
+        cached = tuple(
+            create_workload(workload, core_id=core_id, seed=seed,
+                            **workload_params).generate(operations)
+            for core_id in range(num_cores)
+        )
+        if key is not None:
+            if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+                _TRACE_MEMO.clear()
+            _TRACE_MEMO[key] = cached
+    return list(cached)
 
 
 def make_mixed_traces(workloads: Sequence[str], operations: int,

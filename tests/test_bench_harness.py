@@ -21,8 +21,9 @@ from repro.bench.kernel import (
     load_baseline,
     measure_point,
     run_bench,
+    stale_baseline,
 )
-from repro.common.event import KERNEL_ENV
+from repro.common.event import KERNEL_ENV, KERNEL_NAMES
 
 
 def _report(normalized_by_key, kernel="wheel"):
@@ -95,6 +96,31 @@ class TestComparison:
         assert len(failures) == 1 and "baseline" in failures[0]
 
 
+class TestStaleBaseline:
+    def test_missing_kernel_is_flagged(self):
+        """A baseline that predates a kernel must fail --check loudly
+        instead of letting the new kernel escape the gate."""
+        partial = _report({"a": 0.01})  # wheel only
+        problems = stale_baseline(partial)
+        flagged = {k for k in KERNEL_NAMES
+                   if any(repr(k) in p for p in problems)}
+        assert flagged == set(KERNEL_NAMES) - {"wheel"}
+
+    def test_empty_kernel_records_are_flagged(self):
+        report = _report({"a": 0.01})
+        for kernel in KERNEL_NAMES:
+            report["kernels"][kernel] = report["kernels"]["wheel"]
+        report["kernels"]["heap"] = {}
+        problems = stale_baseline(report)
+        assert len(problems) == 1 and "'heap'" in problems[0]
+
+    def test_full_baseline_is_fresh(self):
+        report = _report({"a": 0.01})
+        for kernel in KERNEL_NAMES:
+            report["kernels"][kernel] = report["kernels"]["wheel"]
+        assert stale_baseline(report) == []
+
+
 class TestBenchPoint:
     def test_key_encodes_every_parameter(self):
         point = BenchPoint("sps", "sp", cores=2, operations=30, seed=7)
@@ -113,17 +139,22 @@ class TestCommittedBaseline:
         assert report["schema"] == SCHEMA_VERSION
         assert report["calibration_ops_per_sec"] > 0
 
-    def test_baseline_covers_smoke_points_for_both_kernels(self):
+    def test_baseline_covers_smoke_points_for_every_kernel(self):
         report = load_baseline()
-        for kernel in ("wheel", "heap"):
+        for kernel in KERNEL_NAMES:
             records = report["kernels"][kernel]
             for point in SMOKE_POINTS:
                 rec = records[point.key]
                 assert rec["events"] > 0
                 assert rec["normalized"] > 0
-                # determinism: both kernels executed the same events
+                # determinism: every kernel executed the same events
                 assert rec["events"] == \
                     report["kernels"]["wheel"][point.key]["events"]
+
+    def test_committed_baseline_is_fresh(self):
+        """Every kernel in KERNEL_NAMES has committed records — a new
+        kernel must not silently escape the --check gate."""
+        assert stale_baseline(load_baseline()) == []
 
     def test_baseline_round_trips(self, tmp_path):
         path = tmp_path / "baseline.json"

@@ -111,6 +111,23 @@ def test_figure_pair_matches_golden(name):
         + "\n".join(lines))
 
 
+@pytest.mark.parametrize("name", sorted(FIGURE_PAIRS))
+def test_figure_pair_matches_golden_under_columnar_kernel(monkeypatch, name):
+    """Regenerate nothing: the committed snapshot passes unmodified
+    under the columnar kernel.  This pins zero numeric drift — the
+    columnar core is a throughput change, not a modelling one, and the
+    golden file is shared by all kernels."""
+    from repro.common.event import KERNEL_ENV
+
+    monkeypatch.setenv(KERNEL_ENV, "columnar")
+    golden = load_golden()[name]
+    actual = simulate(name)
+    lines = diff_dicts(golden, actual)
+    assert not lines, (
+        f"{name} drifted under the columnar kernel "
+        f"({len(lines)} fields):\n" + "\n".join(lines))
+
+
 def test_parallel_engine_reproduces_golden():
     """The pooled+cached path must land on the same frozen numbers —
     this ties the golden layer to the engine's determinism contract."""

@@ -1,34 +1,57 @@
-"""Kernel-equivalence suite: the timing wheel IS the heapq kernel.
+"""Kernel-equivalence suite: every kernel IS the heapq reference.
 
-Two layers of evidence, matching the two ways the wheel could drift:
+Three kernels share one contract — ``heap`` (the reference
+:class:`Simulator`), ``wheel`` (the timing wheel), and ``columnar``
+(the batched columnar core).  Three layers of evidence, matching the
+ways a kernel could drift:
 
 * **Property tests** — hypothesis generates random *schedule programs*
   (events that recursively schedule more events, at delays spanning
-  the wheel horizon) and executes each program on both kernels,
+  the wheel horizon) and executes each program on all three kernels,
   asserting identical firing order, firing times, advance-hook call
   sequences, executed counts, clocks, and pending totals — including
   under segmented ``run(until=...)`` and ``max_events`` aborts.
-* **Differential test** — a full figure-scale experiment is run under
-  ``REPRO_SIM_KERNEL=heap`` and ``=wheel`` and the complete result
-  dictionary (every raw stat counter included) must match exactly.
-  This is the bit-identity guarantee the golden figures rely on.
+* **Differential tests** — full figure-scale experiments, a crash
+  sweep, and a litmus program are run under every kernel pair and the
+  complete result (every raw stat counter included) must match
+  exactly.  This is the bit-identity guarantee the golden figures
+  rely on.
+* **Fault differential** — hypothesis-generated fault-injection
+  configs (nonzero NVM retry / ack-fault / ECC rates) must produce
+  identical Stats counters under the object and columnar kernels: the
+  fault-retry path reaches the controller outside any scheduler tick,
+  which is exactly where memoized-scan state could go stale.
 """
 
 from __future__ import annotations
 
 import itertools
+from dataclasses import replace
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.common.config import FaultConfig, small_machine_config
 from repro.common.event import (
     KERNEL_ENV,
+    KERNEL_NAMES,
+    ColumnarSimulator,
     SimulationError,
     Simulator,
     TimingWheelSimulator,
 )
 from repro.sim.runner import run_experiment
+
+#: kernel name -> class, for the property layer
+_KERNELS = {
+    "heap": Simulator,
+    "wheel": TimingWheelSimulator,
+    "columnar": ColumnarSimulator,
+}
+
+#: every unordered kernel pair — the differential layer runs each
+_KERNEL_PAIRS = list(itertools.combinations(KERNEL_NAMES, 2))
 
 # Delays straddle the wheel horizon (WHEEL_SIZE) so programs exercise the
 # bucket path, the far-future heap, and migration between them.
@@ -83,11 +106,22 @@ def _execute(sim, program, untils=(), max_events=None):
     }
 
 
+def _execute_all(program, **kwargs):
+    """The same program on every kernel; dict of kernel -> observables."""
+    return {name: _execute(cls(), program, **kwargs)
+            for name, cls in _KERNELS.items()}
+
+
+def _assert_all_equal(by_kernel):
+    reference = by_kernel["heap"]
+    for name, observed in by_kernel.items():
+        assert observed == reference, f"kernel {name!r} diverged from heap"
+
+
 @settings(max_examples=200, deadline=None)
 @given(program=_PROGRAMS)
-def test_wheel_matches_heap_full_drain(program):
-    assert _execute(Simulator(), program) == \
-        _execute(TimingWheelSimulator(), program)
+def test_kernels_match_full_drain(program):
+    _assert_all_equal(_execute_all(program))
 
 
 @settings(max_examples=200, deadline=None)
@@ -98,24 +132,22 @@ def test_wheel_matches_heap_full_drain(program):
         max_size=3,
     ).map(sorted),
 )
-def test_wheel_matches_heap_segmented_run(program, untils):
+def test_kernels_match_segmented_run(program, untils):
     """run(until=...) segments — including quiet clock jumps past the
-    wheel horizon — leave both kernels in identical states."""
-    assert _execute(Simulator(), program, untils=untils) == \
-        _execute(TimingWheelSimulator(), program, untils=untils)
+    wheel horizon — leave all kernels in identical states."""
+    _assert_all_equal(_execute_all(program, untils=untils))
 
 
 @settings(max_examples=100, deadline=None)
 @given(program=_PROGRAMS, max_events=st.integers(min_value=1, max_value=30))
-def test_wheel_matches_heap_max_events_abort(program, max_events):
-    """The livelock valve trips after the same event on both kernels,
+def test_kernels_match_max_events_abort(program, max_events):
+    """The livelock valve trips after the same event on every kernel,
     leaving the same partial firing log and clock."""
-    assert _execute(Simulator(), program, max_events=max_events) == \
-        _execute(TimingWheelSimulator(), program, max_events=max_events)
+    _assert_all_equal(_execute_all(program, max_events=max_events))
 
 
 # ----------------------------------------------------------------------
-# Differential test: full experiments are bit-identical across kernels.
+# Differential tests: full experiments are bit-identical across kernels.
 # ----------------------------------------------------------------------
 
 def _run_with_kernel(monkeypatch, kernel, workload, scheme):
@@ -125,16 +157,100 @@ def _run_with_kernel(monkeypatch, kernel, workload, scheme):
     return result.to_dict(include_raw=True)
 
 
+@pytest.mark.parametrize("kernel_a,kernel_b", _KERNEL_PAIRS)
 @pytest.mark.parametrize("workload,scheme", [
     ("hashtable", "txcache"),   # accelerator path: TC, acks, drain
     ("sps", "sp"),              # software path: clwb/sfence ops
     ("btree", "kiln"),          # pinned-LLC path: eviction pressure
 ])
 def test_experiments_bit_identical_across_kernels(monkeypatch, workload,
-                                                  scheme):
-    """Same experiment, both kernels: every metric and every raw stat
-    counter must match exactly — the kernel is a perf knob, not a
+                                                  scheme, kernel_a, kernel_b):
+    """Same experiment, every kernel pair: every metric and every raw
+    stat counter must match exactly — the kernel is a perf knob, not a
     modelling one."""
-    heap = _run_with_kernel(monkeypatch, "heap", workload, scheme)
-    wheel = _run_with_kernel(monkeypatch, "wheel", workload, scheme)
-    assert heap == wheel
+    a = _run_with_kernel(monkeypatch, kernel_a, workload, scheme)
+    b = _run_with_kernel(monkeypatch, kernel_b, workload, scheme)
+    assert a == b
+
+
+@pytest.mark.parametrize("kernel_a,kernel_b", _KERNEL_PAIRS)
+def test_crash_sweep_bit_identical_across_kernels(monkeypatch, kernel_a,
+                                                  kernel_b):
+    """Crash sweeps re-run the same system to a mid-execution cycle and
+    diff durable images — every crash fraction's report must agree."""
+    from repro.sim.crash import crash_sweep
+
+    def sweep(kernel):
+        monkeypatch.setenv(KERNEL_ENV, kernel)
+        return crash_sweep("hashtable", "txcache",
+                           fractions=(0.25, 0.5, 0.9),
+                           num_cores=2, operations=12, seed=11)
+
+    assert sweep(kernel_a) == sweep(kernel_b)
+
+
+@pytest.mark.parametrize("kernel_a,kernel_b", _KERNEL_PAIRS)
+def test_litmus_program_bit_identical_across_kernels(monkeypatch, kernel_a,
+                                                     kernel_b):
+    """An every-cycle litmus crash sweep (the stepped single-simulation
+    runner) reports identical consistency outcomes under every kernel."""
+    from repro.litmus.generator import message_passing
+    from repro.litmus.runner import run_litmus
+
+    def sweep(kernel):
+        monkeypatch.setenv(KERNEL_ENV, kernel)
+        return run_litmus(message_passing(), "txcache")
+
+    assert sweep(kernel_a) == sweep(kernel_b)
+
+
+# ----------------------------------------------------------------------
+# Fault differential: the resilience paths (retries, lost/duplicated
+# acks, ECC scrubs) stay bit-identical under the columnar kernel.
+# ----------------------------------------------------------------------
+
+_RATES = st.floats(min_value=0.01, max_value=0.3,
+                   allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nvm_write_fail_rate=_RATES,
+    ack_loss_rate=_RATES.map(lambda r: r / 3),
+    ack_duplicate_rate=_RATES.map(lambda r: r / 3),
+    tc_bit_flip_rate=st.floats(min_value=1e-6, max_value=1e-4,
+                               allow_nan=False, allow_infinity=False),
+    fault_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_fault_injection_stats_identical_object_vs_columnar(
+        nvm_write_fail_rate, ack_loss_rate, ack_duplicate_rate,
+        tc_bit_flip_rate, fault_seed):
+    """Random nonzero fault rates: the object (wheel) and columnar
+    kernels must count every retry, remap, dropped/duplicated ack, and
+    ECC event identically.  The injector streams are deterministic per
+    site, so any divergence is a kernel bug, not noise."""
+    import os
+
+    faults = FaultConfig(
+        seed=fault_seed,
+        nvm_write_fail_rate=nvm_write_fail_rate,
+        ack_loss_rate=ack_loss_rate,
+        ack_duplicate_rate=ack_duplicate_rate,
+        tc_bit_flip_rate=tc_bit_flip_rate,
+    )
+    config = replace(small_machine_config(num_cores=2), faults=faults)
+
+    def run(kernel):
+        saved = os.environ.get(KERNEL_ENV)
+        os.environ[KERNEL_ENV] = kernel
+        try:
+            result = run_experiment("hashtable", "txcache", config=config,
+                                    operations=10, seed=13)
+            return result.to_dict(include_raw=True)
+        finally:
+            if saved is None:
+                os.environ.pop(KERNEL_ENV, None)
+            else:
+                os.environ[KERNEL_ENV] = saved
+
+    assert run("wheel") == run("columnar")
