@@ -68,11 +68,15 @@ SMOKE_POINTS: List[BenchPoint] = [
     BenchPoint("sps", "sp", cores=2, operations=30),
 ]
 
-#: the full sweep: one point per golden figure pair
+#: the full sweep: one point per golden figure pair, plus one per
+#: software-transaction scheme (the swtx golden pairs)
 FULL_POINTS: List[BenchPoint] = SMOKE_POINTS + [
     BenchPoint("btree", "kiln", cores=2, operations=30),
     BenchPoint("rbtree", "txcache", cores=2, operations=30),
     BenchPoint("graph", "optimal", cores=2, operations=30),
+    BenchPoint("hashtable", "undo_log", cores=2, operations=30),
+    BenchPoint("sps", "redo_log", cores=2, operations=30),
+    BenchPoint("btree", "hybrid_dram", cores=2, operations=30),
 ]
 
 

@@ -77,11 +77,22 @@ from .sim.runner import run_comparison, run_experiment
 from .sim.sweep import llc_size_sweep, nvm_write_latency_sweep, tc_size_sweep
 from .workloads import PAPER_WORKLOADS, WORKLOADS, create_workload
 
-SCHEME_CHOICES = [scheme.value for scheme in SchemeName]
+# importing BROKEN_COMMIT loads repro.litmus.broken, whose import-time
+# register_scheme() puts "broken_commit" into the scheme registry the
+# choice lists below are generated from
+from .litmus import BROKEN_COMMIT  # noqa: E402  (registration side effect)
+from .persistence import scheme_names
+
+#: every currently registered scheme name — enum members plus
+#: register_scheme() extras; a newly registered scheme appears in all
+#: CLI choice lists and error messages without manual edits
+SCHEME_CHOICES = scheme_names()
 
 #: litmus sweeps persistence schemes (optimal promises nothing, so
-#: checking it is meaningless) plus the intentionally broken reference
-LITMUS_SCHEME_CHOICES = ["sp", "kiln", "txcache", "broken_commit"]
+#: checking it is meaningless) plus registered extras such as the
+#: intentionally broken reference
+LITMUS_SCHEME_CHOICES = [name for name in scheme_names()
+                         if name != SchemeName.OPTIMAL.value]
 
 
 def package_version() -> str:
@@ -176,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
     figures_parser = sub.add_parser("figures",
                                     help="regenerate Figures 6-10")
     _add_common_run_args(figures_parser)
+    figures_parser.add_argument(
+        "--schemes", nargs="+",
+        choices=[scheme.value for scheme in SchemeName],
+        default=None,
+        help="schemes to grid (default: the paper's sp txcache kiln "
+             "optimal; optimal is always included as the "
+             "normalization baseline)")
     _add_engine_args(figures_parser)
     _add_obs_args(figures_parser)
 
@@ -251,8 +269,10 @@ def build_parser() -> argparse.ArgumentParser:
     litmus_parser.add_argument(
         "--schemes", nargs="+", choices=LITMUS_SCHEME_CHOICES,
         default=["sp", "kiln", "txcache"],
-        help="schemes to sweep (broken_commit is the intentionally "
-             "buggy reference scheme; it should fail)")
+        help=f"schemes to sweep, any of: "
+             f"{', '.join(LITMUS_SCHEME_CHOICES)} "
+             f"({BROKEN_COMMIT} is the intentionally buggy reference "
+             f"scheme; it should fail)")
     litmus_parser.add_argument("--check-every", type=int, default=1,
                                help="crash-check stride in cycles "
                                     "(default 1 = every cycle)")
@@ -502,6 +522,18 @@ def cmd_figures(args) -> int:
     from .sim.runner import ALL_SCHEMES
 
     engine = _engine_from_args(args)
+    if args.schemes:
+        schemes = []
+        for name in args.schemes:
+            scheme = SchemeName.parse(name)
+            if scheme not in schemes:
+                schemes.append(scheme)
+        if SchemeName.OPTIMAL not in schemes:
+            # every figure normalizes to Optimal, so the baseline rides
+            # along even when not asked for (its column still renders)
+            schemes.append(SchemeName.OPTIMAL)
+    else:
+        schemes = list(ALL_SCHEMES)
     config = small_machine_config(num_cores=args.cores)
     pressure = config.scaled_llc(128 * 1024)
     points = [
@@ -510,15 +542,15 @@ def cmd_figures(args) -> int:
                         trace_dir=args.trace, trace_epoch=args.epoch)
         for grid_config in (config, pressure)
         for workload in PAPER_WORKLOADS
-        for scheme in ALL_SCHEMES
+        for scheme in schemes
     ]
     print(f"running {len(points)} experiment points "
           f"(jobs={engine.jobs})...", file=sys.stderr)
     results = iter(engine.run(points))
-    grid = {workload: {scheme: next(results) for scheme in ALL_SCHEMES}
+    grid = {workload: {scheme: next(results) for scheme in schemes}
             for workload in PAPER_WORKLOADS}
     pressure_grid = {workload: {scheme: next(results)
-                                for scheme in ALL_SCHEMES}
+                                for scheme in schemes}
                      for workload in PAPER_WORKLOADS}
     print(engine.summary(), file=sys.stderr)
     for title, figure, source in (
@@ -529,9 +561,9 @@ def cmd_figures(args) -> int:
             ("Figure 10: Persistent load latency", figure10_load_latency,
              grid)):
         print(format_figure(f"{title}, normalized to Optimal",
-                            figure(source)))
+                            figure(source), schemes=schemes))
         print()
-    print(format_stall_breakdown(grid))
+    print(format_stall_breakdown(grid, schemes=schemes))
     if args.trace:
         print(f"per-point traces in {args.trace}/", file=sys.stderr)
     return 0

@@ -146,6 +146,20 @@ class MemCtrlConfig:
     #: small footprints) or "row" (row:bank — a whole row buffer is
     #: contiguous in one bank, maximizing locality for streams)
     interleave: str = "line"
+    #: banks reserved for scheme log regions (WAL entries, commit
+    #: records, DRAM log windows — see
+    #: :func:`repro.common.types.is_log_region`).  0 (the default)
+    #: keeps the historic unified map bit-identical; with N > 0 the
+    #: last N banks serve only log traffic and the rest only data, so
+    #: log writes contend with data writes for queues and channels but
+    #: never steal a data bank's row buffer.
+    log_banks: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.log_banks < self.num_banks:
+            raise ValueError(
+                f"{self.name}: log_banks must satisfy 0 <= n < "
+                f"{self.num_banks} banks, got {self.log_banks}")
 
     @property
     def num_banks(self) -> int:

@@ -43,6 +43,12 @@ def line_addr(addr: int) -> int:
 #: records) and is excluded from recovered application images.
 HOME_REGION_LIMIT = NVM_BASE + (1 << 36)
 
+#: DRAM-resident log regions (the hybrid DRAM-logged scheme's write-set
+#: log) live at [DRAM_LOG_BASE, NVM_BASE); ordinary volatile heaps stay
+#: below.  Like the NVM metadata split, this lets the memory model give
+#: log traffic its own banks (see ``MemCtrlConfig.log_banks``).
+DRAM_LOG_BASE = 1 << 38
+
 
 def is_persistent_addr(addr: int) -> bool:
     """True if the address belongs to the persistent (NVM) space."""
@@ -52,6 +58,14 @@ def is_persistent_addr(addr: int) -> bool:
 def is_home_line(addr: int) -> bool:
     """True for application persistent-heap lines (not scheme metadata)."""
     return NVM_BASE <= addr < HOME_REGION_LIMIT
+
+
+def is_log_region(addr: int) -> bool:
+    """True for scheme log/metadata addresses in either space: the NVM
+    region above the application home limit (WAL entries, commit
+    records, mirrors) and the DRAM log window.  Controllers with
+    ``log_banks`` reserved steer these to the dedicated log banks."""
+    return addr >= HOME_REGION_LIMIT or DRAM_LOG_BASE <= addr < NVM_BASE
 
 
 @dataclass(frozen=True)
@@ -147,12 +161,18 @@ class MemRequest:
 
 
 class SchemeName(enum.Enum):
-    """The four persistence mechanisms compared in the paper (§5.1)."""
+    """The four persistence mechanisms compared in the paper (§5.1),
+    plus the software-transaction competitor schemes of
+    :mod:`repro.persistence.swtx` (per arXiv:1804.00701 and
+    arXiv:1903.06226)."""
 
     OPTIMAL = "optimal"   # native execution, no persistence guarantee
     SP = "sp"             # software WAL + flush/fence ordering
     KILN = "kiln"         # nonvolatile LLC, flush-on-commit ([23])
     TXCACHE = "txcache"   # this paper's transaction-cache accelerator
+    UNDO_LOG = "undo_log"         # per-store undo WAL, fence-per-entry
+    REDO_LOG = "redo_log"         # DRAM write set + redo WAL, 2 fences/tx
+    HYBRID_DRAM = "hybrid_dram"   # DRAM log mirrored to NVM, epoch fence
 
     @staticmethod
     def parse(name: "str | SchemeName") -> "SchemeName":

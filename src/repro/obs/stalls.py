@@ -31,6 +31,12 @@ kind                      attributed when
 ``tc_full``               a TC write back-pressured until space freed
 ``ack_wait``              a COW-overflow commit waited for its commit
                           record to be durable in NVM
+``log_write``             a software-TX log store was back-pressured
+                          (swtx: log-buffer / mirror window full)
+``log_flush``             an sfence (or the hybrid scheme's epoch
+                          fence) waited on outstanding *log* writes
+``log_replay``            a redo/hybrid commit waited on the in-place
+                          replay backlog of earlier transactions
 ========================  ==============================================
 
 The scheme picks the *reason*; the core does the *arithmetic*: a
@@ -45,13 +51,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping
 
+#: the kinds emitted only by the software-TX schemes
+#: (:mod:`repro.persistence.swtx`); appended last so the historic
+#: column order — and every frozen golden ``stall_cycles`` dict, which
+#: omits the log kinds when they are zero — is unchanged
+LOG_STALL_KINDS = ("log_write", "log_flush", "log_replay")
+
 #: every attributable stall source, in report-column order
 STALL_KINDS = ("load", "store_issue", "store_buffer", "fence",
-               "commit", "flush", "tc_full", "ack_wait")
+               "commit", "flush", "tc_full", "ack_wait") + LOG_STALL_KINDS
 
 #: the kinds caused by the *persistence mechanism* (vs. plain memory
 #: behaviour) — the share Fig. 6 is really about
-PERSISTENCE_KINDS = ("fence", "commit", "flush", "tc_full", "ack_wait")
+PERSISTENCE_KINDS = ("fence", "commit", "flush", "tc_full",
+                     "ack_wait") + LOG_STALL_KINDS
 
 
 @dataclass

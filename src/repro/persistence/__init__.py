@@ -7,12 +7,13 @@ registry before the :class:`~repro.common.types.SchemeName` enum, so
 registered names work everywhere a scheme name string is accepted.
 """
 
-from typing import Dict, Type, Union
+from typing import Dict, List, Type, Union
 
 from ..common.types import SchemeName
 from .base import OptimalScheme, PersistenceScheme
 from .kiln import KilnScheme
 from .software import SoftwareScheme
+from .swtx import HybridDramScheme, RedoLogScheme, UndoLogScheme
 from .txcache_scheme import TxCacheScheme
 
 _SCHEMES = {
@@ -20,10 +21,59 @@ _SCHEMES = {
     SchemeName.SP: SoftwareScheme,
     SchemeName.KILN: KilnScheme,
     SchemeName.TXCACHE: TxCacheScheme,
+    SchemeName.UNDO_LOG: UndoLogScheme,
+    SchemeName.REDO_LOG: RedoLogScheme,
+    SchemeName.HYBRID_DRAM: HybridDramScheme,
 }
 
 #: string-named schemes outside the paper's enum (see register_scheme)
 EXTRA_SCHEMES: Dict[str, Type[PersistenceScheme]] = {}
+
+
+class _SchemeRegistry:
+    """Live name→class view over the enum schemes and EXTRA_SCHEMES.
+
+    A mapping (not a frozen dict) so schemes registered *after* import
+    — the litmus broken-scheme validator targets, test prototypes —
+    appear without any cache invalidation.  CLI choice lists and serve
+    error messages read their valid names from here, so a new scheme
+    is advertised everywhere by the single act of registering it.
+    """
+
+    def __contains__(self, name: object) -> bool:
+        return name in EXTRA_SCHEMES or name in {
+            scheme.value for scheme in _SCHEMES}
+
+    def __getitem__(self, name: str) -> Type[PersistenceScheme]:
+        if name in EXTRA_SCHEMES:
+            return EXTRA_SCHEMES[name]
+        return _SCHEMES[SchemeName.parse(name)]
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(_SCHEMES) + len(EXTRA_SCHEMES)
+
+    @staticmethod
+    def names(include_extras: bool = True) -> List[str]:
+        """Every accepted scheme name: enum order, then registered
+        extras sorted — the order help text and error messages use.
+        ``include_extras=False`` restricts to the enum schemes (the
+        ones whose results round-trip through SchemeName.parse)."""
+        names = [scheme.value for scheme in _SCHEMES]
+        if include_extras:
+            names += sorted(EXTRA_SCHEMES)
+        return names
+
+
+#: the single source of truth for "which scheme names are valid"
+SCHEME_REGISTRY = _SchemeRegistry()
+
+
+def scheme_names(include_extras: bool = True) -> List[str]:
+    """All currently valid scheme names (enum first, extras after)."""
+    return SCHEME_REGISTRY.names(include_extras)
 
 
 def register_scheme(name: str, cls: Type[PersistenceScheme]) -> None:
@@ -68,11 +118,16 @@ def create_scheme(
 
 __all__ = [
     "EXTRA_SCHEMES",
+    "HybridDramScheme",
     "KilnScheme",
     "OptimalScheme",
     "PersistenceScheme",
+    "RedoLogScheme",
+    "SCHEME_REGISTRY",
     "SoftwareScheme",
     "TxCacheScheme",
+    "UndoLogScheme",
     "create_scheme",
     "register_scheme",
+    "scheme_names",
 ]

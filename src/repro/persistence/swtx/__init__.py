@@ -1,0 +1,37 @@
+"""Software-transaction (swtx) competitor schemes.
+
+Three first-class software persistence schemes spanning the classic
+WAL design space, each a point the paper's hardware transaction cache
+is implicitly compared against:
+
+==================  =================================================
+``undo_log``        old value logged + flushed + fenced before every
+                    in-place store; N+2 fences and the highest write
+                    amplification (arXiv:1804.00701 lineage)
+``redo_log``        DRAM write set + NVM redo log; 2 fences per
+                    transaction, post-commit in-place replay
+``hybrid_dram``     DRAM log mirrored to NVM asynchronously; an epoch
+                    fence at commit is the only wait
+                    (arXiv:1903.06226 lineage)
+==================  =================================================
+
+All three implement the full continuation-passing
+:class:`~repro.persistence.base.PersistenceScheme` interface including
+the ``durable_lines`` recovery contract, register
+:class:`~repro.common.types.SchemeName` members, and emit the
+``log_write`` / ``log_flush`` / ``log_replay`` stall kinds through
+``core.attribute_stall`` so the sum-to-total attribution invariant
+keeps holding.
+"""
+
+from .base import SwTxScheme
+from .hybrid import HybridDramScheme
+from .redo import RedoLogScheme
+from .undo import UndoLogScheme
+
+__all__ = [
+    "HybridDramScheme",
+    "RedoLogScheme",
+    "SwTxScheme",
+    "UndoLogScheme",
+]

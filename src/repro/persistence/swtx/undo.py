@@ -1,0 +1,169 @@
+"""Undo-log software transactions: fence-per-entry eager logging.
+
+The classic undo-log protocol (Mnemosyne/NV-heaps style, per the
+PMDK-era libraries surveyed in arXiv:1804.00701): before *each*
+in-place store, the old value is logged and made durable —
+
+    log(addr, old) ; clwb(log) ; sfence ; store in place
+
+so at any crash point every in-place write of an uncommitted
+transaction has a durable undo record.  Commit flushes the data lines,
+fences, writes + flushes + fences a commit record, then truncates the
+log (a lazily-flushed head-pointer store).
+
+Against SP (which batches the whole transaction's log and pays one
+fence for it), undo pays an sfence per store — the worst-case ordering
+cost — and the highest write amplification of the swtx family: one log
+line, one data line, a record and a head write per N=1 transaction.
+The differential invariants pin this down: undo fences >= redo fences
+and undo NVM write traffic >= redo's.
+
+Recovery is SP's, shared semantics: committed = durable commit record;
+every in-place write of an uncommitted transaction found in the NVM is
+rolled back to its logged pre-value, newest-first across cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...common.types import SchemeName, Version, is_home_line, line_addr
+from ...cpu.trace import OpType, Trace, TraceOp
+from .base import (
+    LOG_COMPUTE_COST,
+    LOG_ENTRY_BYTES,
+    LOG_SEQ_BASE,
+    LOG_WRAP,
+    SwTxScheme,
+    head_addr,
+    record_addr,
+)
+
+
+class UndoLogScheme(SwTxScheme):
+    """Per-store undo WAL with a fence before every in-place write."""
+
+    name = SchemeName.UNDO_LOG
+
+    def __init__(self, sim, config, stats, hierarchy, memory,
+                 tracer=None) -> None:
+        from ...obs.tracer import NULL_TRACER
+        super().__init__(sim, config, stats, hierarchy, memory,
+                         tracer if tracer is not None else NULL_TRACER)
+        # recovery bookkeeping, captured at runtime in store-issue
+        # order (same contract as SP: capture order == architectural
+        # write order because both update synchronously here)
+        self._undo_log: List[Tuple[int, int, Optional[Version]]] = []
+        self._current_version: Dict[int, Optional[Version]] = {}
+
+    # ------------------------------------------------------------------
+    # trace instrumentation
+    # ------------------------------------------------------------------
+    def prepare_trace(self, trace: Trace) -> Trace:
+        region, log_base = self._claim_log_region()
+        log_cursor = 0
+        out = Trace(name=f"{trace.name}+undo")
+        pending: Optional[List[TraceOp]] = None
+        open_tx: Optional[int] = None
+
+        def emit_tx(tx_id: int, body: List[TraceOp]) -> None:
+            nonlocal log_cursor
+            out.ops.append(TraceOp(OpType.TX_BEGIN, tx_id=tx_id))
+            index = 0
+            writes: Dict[int, None] = {}
+            for op in body:
+                if op.op is OpType.STORE and op.persistent:
+                    # log the old value and make it durable *before*
+                    # the in-place write — one full ordering point per
+                    # store, the protocol's defining cost
+                    log_entry = log_base + (log_cursor % LOG_WRAP)
+                    log_cursor += LOG_ENTRY_BYTES
+                    out.ops.append(
+                        TraceOp(OpType.COMPUTE, count=LOG_COMPUTE_COST))
+                    out.ops.append(TraceOp(
+                        OpType.STORE, addr=log_entry, tx_id=tx_id,
+                        version=Version(tx_id, LOG_SEQ_BASE + index)))
+                    out.ops.append(TraceOp(
+                        OpType.CLWB, addr=line_addr(log_entry), tx_id=tx_id))
+                    out.ops.append(TraceOp(OpType.SFENCE, tx_id=tx_id))
+                    writes[line_addr(op.addr)] = None
+                    index += 1
+                out.ops.append(op)
+            if writes:
+                # data durable, then the commit record (atomicity
+                # point), then truncate the log: the head store is
+                # flushed lazily — the next transaction's first fence
+                # orders it
+                for data_line in writes:
+                    out.ops.append(TraceOp(OpType.CLWB, addr=data_line,
+                                           tx_id=tx_id))
+                out.ops.append(TraceOp(OpType.SFENCE, tx_id=tx_id))
+                record = record_addr(tx_id)
+                out.ops.append(TraceOp(
+                    OpType.STORE, addr=record, tx_id=tx_id,
+                    version=Version(tx_id, -1)))
+                out.ops.append(TraceOp(OpType.CLWB, addr=record, tx_id=tx_id))
+                out.ops.append(TraceOp(OpType.SFENCE, tx_id=tx_id))
+                head = head_addr(region)
+                out.ops.append(TraceOp(
+                    OpType.STORE, addr=head, tx_id=tx_id,
+                    version=Version(tx_id, -2)))
+                out.ops.append(TraceOp(OpType.CLWB, addr=head, tx_id=tx_id))
+            out.ops.append(TraceOp(OpType.TX_END, tx_id=tx_id))
+
+        for op in trace.ops:
+            if op.op is OpType.TX_BEGIN:
+                open_tx = op.tx_id
+                pending = []
+            elif op.op is OpType.TX_END:
+                emit_tx(open_tx, pending)
+                open_tx = None
+                pending = None
+            elif pending is not None:
+                pending.append(op)
+            else:
+                out.ops.append(op)
+        out.validate()
+        return out
+
+    # ------------------------------------------------------------------
+    # runtime: in-place data stores (undo capture)
+    # ------------------------------------------------------------------
+    def store(self, core, op, on_issue, on_retire) -> None:
+        if op.persistent and is_home_line(op.addr):
+            data_line = line_addr(op.addr)
+            if op.tx_id is not None and op.version is not None:
+                self._undo_log.append(
+                    (op.tx_id, data_line,
+                     self._current_version.get(data_line)))
+            self._current_version[data_line] = op.version
+        super().store(core, op, on_issue, on_retire)
+
+    def tx_end(self, core, op, resume) -> None:
+        # durability was established by the record clwb+sfence; the
+        # trailing head store/clwb drain in the background
+        resume()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def durable_lines(self, crash_cycle: int) -> Dict[int, Optional[Version]]:
+        """Undo recovery: roll back every in-place write of an
+        uncommitted transaction that reached the NVM, newest-first
+        across all cores (conflicting chains unwind as a stack)."""
+        committed = self.durably_committed(crash_cycle)
+        recovered = {
+            line: version
+            for line, version in self.memory.durable_state_at(crash_cycle).items()
+            if is_home_line(line)
+        }
+        for tx_id, data_line, old_version in reversed(self._undo_log):
+            if tx_id in committed:
+                continue
+            found = recovered.get(data_line)
+            if found is not None and found.tx_id == tx_id:
+                if old_version is None:
+                    recovered.pop(data_line, None)
+                else:
+                    recovered[data_line] = old_version
+        return recovered

@@ -61,6 +61,7 @@ from ..common.config import (
     small_machine_config,
 )
 from ..common.types import SchemeName
+from ..persistence import scheme_names
 from ..sim.parallel import POINT_KINDS, make_params
 from ..sim.validate import require_valid_config
 from ..workloads import WORKLOADS
@@ -197,9 +198,11 @@ def parse_request(data: object) -> PointRequest:
     try:
         scheme = SchemeName.parse(data.get("scheme"))
     except (ValueError, KeyError, AttributeError) as exc:
+        # experiment results round-trip through SchemeName.parse, so
+        # only enum schemes are accepted here
         raise ProtocolError(
             f"scheme must be one of "
-            f"{[s.value for s in SchemeName]}, "
+            f"{scheme_names(include_extras=False)}, "
             f"got {data.get('scheme')!r}") from exc
 
     kwargs: Dict[str, object] = {
@@ -262,12 +265,15 @@ def _parse_litmus_request(data: Mapping, point_cls) -> PointRequest:
         program = LitmusProgram.from_dict(data["program"])
     except ValueError as exc:
         raise ProtocolError(f"program: {exc}") from exc
+    # the service accepts enum schemes only: registered extras (the
+    # broken_commit validator target, test prototypes) stay in-process
+    # — tests/test_litmus_runner.py pins that boundary
     try:
-        scheme = SchemeName.parse(data.get("scheme"))
+        scheme_value = SchemeName.parse(data.get("scheme")).value
     except (ValueError, KeyError, AttributeError) as exc:
         raise ProtocolError(
             f"scheme must be one of "
-            f"{[s.value for s in SchemeName]}, "
+            f"{scheme_names(include_extras=False)}, "
             f"got {data.get('scheme')!r}") from exc
 
     config = build_config(data.get("config"))
@@ -278,7 +284,7 @@ def _parse_litmus_request(data: Mapping, point_cls) -> PointRequest:
             "(set config.num_cores)")
     kwargs: Dict[str, object] = {
         "program": program.canonical_json(),
-        "scheme": scheme.value,
+        "scheme": scheme_value,
         "config": config,
     }
     if "check_every" in data:

@@ -106,12 +106,17 @@ def format_figure(title: str,
                   rows: Mapping[str, Mapping[SchemeName, float]],
                   schemes: Sequence[SchemeName] = SCHEME_ORDER) -> str:
     """Render one figure's normalized numbers as an ASCII table."""
+    # 10 is the historic column width (byte-identical default output);
+    # longer names (hybrid_dram) widen their own column only
+    widths = [max(10, len(scheme.value) + 2) for scheme in schemes]
     header = f"{'workload':<12}" + "".join(
-        f"{scheme.value:>10}" for scheme in schemes)
+        f"{scheme.value:>{width}}"
+        for scheme, width in zip(schemes, widths))
     lines = [title, "=" * len(header), header, "-" * len(header)]
     for workload, row in rows.items():
         cells = "".join(
-            f"{row.get(scheme, float('nan')):>10.3f}" for scheme in schemes)
+            f"{row.get(scheme, float('nan')):>{width}.3f}"
+            for scheme, width in zip(schemes, widths))
         lines.append(f"{workload:<12}{cells}")
     lines.append("=" * len(header))
     return "\n".join(lines)
@@ -130,7 +135,9 @@ def format_stall_breakdown(results: ResultGrid,
     """
     from ..obs.stalls import STALL_KINDS
 
-    header = (f"{'workload':<12}{'scheme':<10}{'stalls':>10}"
+    # 10 is the historic scheme-column width; longer names widen it
+    name_width = max([10] + [len(s.value) + 1 for s in schemes])
+    header = (f"{'workload':<12}{'scheme':<{name_width}}{'stalls':>10}"
               f"{'stall/cyc':>10}"
               + "".join(f"{kind:>13}" for kind in STALL_KINDS))
     lines = ["Stall-cycle breakdown (share of total stall cycles)",
@@ -146,8 +153,8 @@ def format_stall_breakdown(results: ResultGrid,
             cells = "".join(
                 f"{stalls.get(kind, 0.0) / total:>13.1%}" if total
                 else f"{'-':>13}" for kind in STALL_KINDS)
-            lines.append(f"{workload:<12}{scheme.value:<10}{total:>10.0f}"
-                         f"{per_cycle:>10.3f}{cells}")
+            lines.append(f"{workload:<12}{scheme.value:<{name_width}}"
+                         f"{total:>10.0f}{per_cycle:>10.3f}{cells}")
     lines.append("=" * len(header))
     return "\n".join(lines)
 

@@ -4,7 +4,12 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.common.config import small_machine_config
+from repro.litmus import check_membership, message_passing, tx_summaries
+from repro.litmus.runner import iter_crash_states  # registers broken_commit
+from repro.persistence import scheme_names
 from repro.sim.crash import check_recovery, measure_run_length, run_with_crash
+from repro.sim.system import System
 from repro.workloads.btree import BTreeWorkload
 from repro.workloads.rbtree import RbTreeWorkload
 
@@ -53,6 +58,73 @@ class TestCrashAtomicityProperties:
                                 max(1, int(total * fraction)),
                                 operations=25, seed=21, array_elements=64)
         assert report.consistent, report.violations[:3]
+
+    @pytest.mark.parametrize("scheme",
+                             ["undo_log", "redo_log", "hybrid_dram"])
+    @given(fraction=st.floats(0.01, 0.99))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_swtx_consistent_at_any_cycle(self, scheme, fraction):
+        total = total_for(scheme)
+        report = run_with_crash("sps", scheme,
+                                max(1, int(total * fraction)),
+                                operations=25, seed=21, array_elements=64)
+        assert report.consistent, report.violations[:3]
+
+
+# -- registry-wide oracle differential -------------------------------------
+#
+# The litmus suite runs each scheme against the legal-persist-set
+# oracle at *every* cycle; this generalizes that to the scheme
+# REGISTRY: whatever is registered (enum members and string-named
+# extras alike) must agree with the oracle at hypothesis-chosen crash
+# cycles.  A new scheme gets this check by the act of registering.
+#
+# Exclusions: ``optimal`` makes no persistence guarantee at all (it is
+# the no-overhead upper bound, kept out of the litmus CLI for the same
+# reason), and ``broken_commit`` is the deliberately broken negative
+# control — asserted to VIOLATE below, so the oracle itself stays
+# honest.
+
+_ORACLE_EXEMPT = {"optimal", "broken_commit"}
+
+# one stepped crash sweep per scheme, shared across examples (the
+# stepped states are pure functions of the deterministic run)
+_CRASH_STATES = {}
+
+
+def crash_states_for(scheme):
+    if scheme not in _CRASH_STATES:
+        program = message_passing()
+        traces = program.to_traces()
+        system = System(
+            small_machine_config(num_cores=program.num_cores), scheme)
+        system.load_traces(traces)
+        _CRASH_STATES[scheme] = (tx_summaries(traces),
+                                 list(iter_crash_states(system)))
+    return _CRASH_STATES[scheme]
+
+
+class TestRegistrySchemesAgreeWithOracle:
+    @pytest.mark.parametrize(
+        "scheme",
+        [name for name in scheme_names() if name not in _ORACLE_EXEMPT])
+    @given(fraction=st.floats(0.0, 1.0))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_durable_lines_in_legal_persist_set(self, scheme, fraction):
+        summaries, states = crash_states_for(scheme)
+        cycle, committed, recovered = states[
+            min(len(states) - 1, int(fraction * len(states)))]
+        messages = check_membership(summaries, committed, recovered)
+        assert messages == [], f"{scheme} @ cycle {cycle}: {messages}"
+
+    def test_broken_commit_violates_the_oracle(self):
+        """Negative control: the deliberately broken scheme must be
+        caught — otherwise the differential above proves nothing."""
+        summaries, states = crash_states_for("broken_commit")
+        assert any(check_membership(summaries, committed, recovered)
+                   for _cycle, committed, recovered in states)
 
 
 class TestDataStructureProperties:

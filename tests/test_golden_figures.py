@@ -52,6 +52,11 @@ FIGURE_PAIRS = {
     "fig8_llc_miss_rate": ("btree", "txcache", _pressure_config),
     "fig9_nvm_writes": ("rbtree", "kiln", _base_config),
     "fig10_load_latency": ("graph", "txcache", _pressure_config),
+    # software-transaction competitor columns (repro.persistence.swtx):
+    # one representative point per scheme on the same grid
+    "swtx_undo_throughput": ("hashtable", "undo_log", _base_config),
+    "swtx_redo_nvm_writes": ("sps", "redo_log", _base_config),
+    "swtx_hybrid_load_latency": ("btree", "hybrid_dram", _base_config),
 }
 
 #: the headline metric each figure actually plots — diffed first so a
